@@ -1,0 +1,65 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! the PP filter's ρ, the Eq. 12 level coefficient γ, and the δ
+//! preempting-window — each swept around its Table II default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp_bench::bench_scale;
+use dsp_core::{run_experiment, ClusterProfile, ExperimentConfig, Params, PreemptMethod, SchedMethod};
+
+fn cfg(params: Params) -> ExperimentConfig {
+    let scale = bench_scale();
+    ExperimentConfig {
+        cluster: ClusterProfile::Ec2,
+        num_jobs: scale.job_counts[0],
+        seed: scale.seed,
+        sched: SchedMethod::Dsp,
+        preempt: PreemptMethod::Dsp,
+        trace: dsp_core::trace::TraceParams { task_scale: scale.task_scale, ..Default::default() },
+        params,
+    }
+}
+
+fn bench_rho(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rho");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for rho in [1.0f64, 1.5, 2.0, 4.0] {
+        let c2 = cfg(Params { rho, ..Params::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(rho), &c2, |b, c2| {
+            b.iter(|| run_experiment(c2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gamma");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for gamma in [0.1f64, 0.5, 0.9] {
+        let c2 = cfg(Params { gamma, ..Params::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(gamma), &c2, |b, c2| {
+            b.iter(|| run_experiment(c2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_delta");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for delta in [0.1f64, 0.35, 0.7, 1.0] {
+        let c2 = cfg(Params { delta, ..Params::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(delta), &c2, |b, c2| {
+            b.iter(|| run_experiment(c2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rho, bench_gamma, bench_delta);
+criterion_main!(benches);

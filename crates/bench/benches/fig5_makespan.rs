@@ -1,0 +1,52 @@
+//! Fig. 5 kernel: one scheduling-method experiment per iteration.
+//!
+//! Criterion times `run_experiment` for each of the four scheduling
+//! methods at a fixed job count on both cluster profiles — the unit of work
+//! behind every Fig. 5 data point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp_bench::bench_scale;
+use dsp_core::{run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod};
+
+fn cfg(cluster: ClusterProfile, sched: SchedMethod) -> ExperimentConfig {
+    let scale = bench_scale();
+    ExperimentConfig {
+        cluster,
+        num_jobs: scale.job_counts[0],
+        seed: scale.seed,
+        sched,
+        preempt: PreemptMethod::None,
+        trace: dsp_trace_params(scale.task_scale),
+        params: dsp_core::Params::default(),
+    }
+}
+
+fn dsp_trace_params(task_scale: f64) -> dsp_core::trace::TraceParams {
+    dsp_core::trace::TraceParams { task_scale, ..Default::default() }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_makespan");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for cluster in [ClusterProfile::Palmetto, ClusterProfile::Ec2] {
+        for sched in [
+            SchedMethod::Dsp,
+            SchedMethod::Aalo,
+            SchedMethod::TetrisSimDep,
+            SchedMethod::TetrisWoDep,
+        ] {
+            let c2 = cfg(cluster, sched);
+            g.bench_with_input(
+                BenchmarkId::new(cluster.label().replace(' ', "_"), sched.label().replace('/', "_")),
+                &c2,
+                |b, c2| b.iter(|| run_experiment(c2)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 7 kernel: the Fig. 6 preemption comparison on the EC2 profile
+//! (fewer, weaker nodes — longer queues, more preemption pressure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp_bench::bench_scale;
+use dsp_core::{run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod};
+
+fn cfg(preempt: PreemptMethod) -> ExperimentConfig {
+    let scale = bench_scale();
+    ExperimentConfig {
+        cluster: ClusterProfile::Ec2,
+        num_jobs: scale.job_counts[0],
+        seed: scale.seed,
+        sched: SchedMethod::Dsp,
+        preempt,
+        trace: dsp_core::trace::TraceParams { task_scale: scale.task_scale, ..Default::default() },
+        params: dsp_core::Params::default(),
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_ec2");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for p in [
+        PreemptMethod::Dsp,
+        PreemptMethod::DspWoPp,
+        PreemptMethod::Amoeba,
+        PreemptMethod::Natjam,
+        PreemptMethod::Srpt,
+    ] {
+        let c2 = cfg(p);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(p.label().replace('/', "_")),
+            &c2,
+            |b, c2| b.iter(|| run_experiment(c2)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

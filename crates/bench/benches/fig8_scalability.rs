@@ -1,0 +1,41 @@
+//! Fig. 8 kernel: DSP end-to-end at growing job counts on both profiles —
+//! the scalability claim is that cost grows roughly linearly in jobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsp_bench::bench_scale;
+use dsp_core::{run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod};
+
+fn cfg(cluster: ClusterProfile, num_jobs: usize) -> ExperimentConfig {
+    let scale = bench_scale();
+    ExperimentConfig {
+        cluster,
+        num_jobs,
+        seed: scale.seed,
+        sched: SchedMethod::Dsp,
+        preempt: PreemptMethod::Dsp,
+        trace: dsp_core::trace::TraceParams { task_scale: scale.task_scale, ..Default::default() },
+        params: dsp_core::Params::default(),
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_scalability");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for cluster in [ClusterProfile::Palmetto, ClusterProfile::Ec2] {
+        for jobs in [6usize, 12, 24] {
+            let c2 = cfg(cluster, jobs);
+            g.throughput(Throughput::Elements(jobs as u64));
+            g.bench_with_input(
+                BenchmarkId::new(cluster.label().replace(' ', "_"), jobs),
+                &c2,
+                |b, c2| b.iter(|| run_experiment(c2)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

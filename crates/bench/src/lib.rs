@@ -1,0 +1,52 @@
+//! Benchmark support: shared scales for the Criterion benches and the
+//! `reproduce` binary.
+//!
+//! * `cargo run -p dsp-bench --release --bin reproduce` regenerates every
+//!   figure of the paper's evaluation as markdown tables (and CSV with
+//!   `--csv`).
+//! * `cargo bench -p dsp-bench` times the underlying experiment kernels —
+//!   one bench group per figure plus ablations and microbenchmarks.
+
+use dsp_core::FigureScale;
+
+/// The scale Criterion benches run at: small enough for statistical
+/// repetition, big enough to exercise every code path.
+pub fn bench_scale() -> FigureScale {
+    FigureScale {
+        job_counts: vec![6],
+        scalability_counts: vec![12],
+        task_scale: 0.03,
+        task_scale_palmetto: 0.1,
+        seed: 2018,
+        threads: 1,
+    }
+}
+
+/// The scale the `reproduce` binary uses by default: the paper's x axes
+/// with per-job task counts at 2%.
+pub fn reproduce_scale() -> FigureScale {
+    FigureScale::paper()
+}
+
+/// A reduced reproduce scale (`reproduce --quick`) for smoke runs.
+pub fn quick_scale() -> FigureScale {
+    FigureScale {
+        job_counts: vec![30, 60, 90, 120, 150],
+        scalability_counts: vec![100, 200, 300, 400, 500],
+        task_scale: 0.06,
+        task_scale_palmetto: 0.2,
+        seed: 2018,
+        threads: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(bench_scale().job_counts.len() < quick_scale().job_counts.len());
+        assert_eq!(reproduce_scale().job_counts, vec![150, 300, 450, 600, 750]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Cluster substrate: nodes, capacities, and the two machine profiles the
+//! paper evaluates on.
+//!
+//! The paper runs on (a) Clemson's Palmetto cluster — 50 Sun X2200 servers
+//! (AMD Opteron 2356, 16 GB RAM) — and (b) 30 Amazon EC2 instances backed by
+//! HP ProLiant ML110 G5 machines (2660 MIPS, 4 GB RAM), each with 1 GB/s
+//! bandwidth and 720 GB disk. We reproduce both as simulated node
+//! inventories; see DESIGN.md §2 for the substitution argument.
+
+pub mod node;
+pub mod profiles;
+
+pub use node::{Node, NodeId};
+pub use profiles::{ec2, palmetto, uniform, ClusterSpec};

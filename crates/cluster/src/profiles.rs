@@ -1,0 +1,154 @@
+//! The two cluster inventories of Section V, plus a uniform synthetic one.
+//!
+//! Machine constants are derived from the paper's hardware description:
+//!
+//! * **Palmetto** ("real cluster"): 50 Sun X2200 servers with dual AMD
+//!   Opteron 2356 (8 cores at 2.3 GHz) and 16 GB RAM.
+//! * **EC2**: 30 instances on HP ProLiant ML110 G5 — the paper states the
+//!   CPU is 2660 MIPS with 4 GB RAM; the ML110 G5 is a dual-core box.
+//!
+//! Both profiles give every node 1 GB/s bandwidth and 720 GB disk, as the
+//! paper sets. Memory is folded into Eq. 1's `g(k)` with a fixed scale of
+//! 190 rate-units per GB, calibrated so the EC2 node comes out at exactly
+//! the paper's 2660 MIPS under θ1 = θ2 = 0.5.
+
+use crate::node::{Node, NodeId};
+use dsp_units::ResourceVec;
+use serde::{Deserialize, Serialize};
+
+/// Rate-units contributed per GB of memory in Eq. 1 (see module docs).
+pub const MEM_UNITS_PER_GB: f64 = 190.0;
+
+/// A named inventory of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable profile name ("palmetto", "ec2", ...).
+    pub name: String,
+    /// The nodes.
+    pub nodes: Vec<Node>,
+}
+
+impl ClusterSpec {
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total concurrent task slots across the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.slots).sum()
+    }
+
+    /// Mean node rate — the reference rate used for execution-time
+    /// estimates in deadline propagation.
+    pub fn mean_rate(&self) -> dsp_units::Mips {
+        if self.nodes.is_empty() {
+            return dsp_units::Mips::new(0.0);
+        }
+        let sum: f64 = self.nodes.iter().map(|n| n.rate().get()).sum();
+        dsp_units::Mips::new(sum / self.nodes.len() as f64)
+    }
+
+    /// Node lookup.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+}
+
+fn mk_nodes(count: usize, s_cpu: f64, mem_gb: f64, cores: usize) -> Vec<Node> {
+    (0..count as u32)
+        .map(|i| {
+            Node::new(
+                NodeId(i),
+                s_cpu,
+                mem_gb * MEM_UNITS_PER_GB,
+                ResourceVec::new(cores as f64, mem_gb, 720_000.0, 1000.0),
+                cores,
+            )
+        })
+        .collect()
+}
+
+/// The paper's "real cluster": 50 Palmetto nodes (dual Opteron 2356,
+/// 16 GB). `g(k) = 0.5·9200 + 0.5·3040 = 6120` rate units. Slots model
+/// memory-sized containers (tasks may demand up to a full node's
+/// normalized memory), not cores — two concurrent containers per node,
+/// like the EC2 profile; Palmetto's edge is its node count and speed.
+pub fn palmetto() -> ClusterSpec {
+    ClusterSpec { name: "palmetto".into(), nodes: mk_nodes(50, 9200.0, 16.0, 2) }
+}
+
+/// The paper's EC2 deployment: 30 instances (2 cores, 2660 MIPS, 4 GB).
+/// `g(k) = 0.5·4560 + 0.5·760 = 2660`, matching the paper's stated MIPS.
+pub fn ec2() -> ClusterSpec {
+    ClusterSpec { name: "ec2".into(), nodes: mk_nodes(30, 4560.0, 4.0, 2) }
+}
+
+/// A uniform synthetic cluster for tests: `count` nodes, `rate` split
+/// evenly between CPU and memory, `slots` slots each.
+pub fn uniform(count: usize, rate: f64, slots: usize) -> ClusterSpec {
+    ClusterSpec {
+        name: format!("uniform{count}"),
+        nodes: (0..count as u32)
+            .map(|i| {
+                Node::new(
+                    NodeId(i),
+                    rate,
+                    rate,
+                    ResourceVec::new(slots as f64, slots as f64, 720_000.0, 1000.0),
+                    slots,
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec2_matches_paper_mips() {
+        let c = ec2();
+        assert_eq!(c.len(), 30);
+        assert!((c.nodes[0].rate().get() - 2660.0).abs() < 1e-9);
+        assert_eq!(c.nodes[0].slots, 2);
+    }
+
+    #[test]
+    fn palmetto_is_bigger_and_faster() {
+        let p = palmetto();
+        let e = ec2();
+        assert_eq!(p.len(), 50);
+        assert!(p.nodes[0].rate().get() > e.nodes[0].rate().get());
+        assert!(p.total_slots() > e.total_slots());
+    }
+
+    #[test]
+    fn mean_rate_of_uniform() {
+        let c = uniform(4, 1000.0, 2);
+        assert_eq!(c.mean_rate().get(), 1000.0);
+        assert_eq!(c.total_slots(), 8);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let c = uniform(3, 500.0, 1);
+        assert_eq!(c.node(NodeId(2)).id, NodeId(2));
+    }
+
+    #[test]
+    fn empty_cluster_mean_rate_is_zero() {
+        let c = ClusterSpec { name: "none".into(), nodes: vec![] };
+        assert!(c.is_empty());
+        assert_eq!(c.mean_rate().get(), 0.0);
+    }
+}

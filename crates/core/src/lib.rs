@@ -1,0 +1,54 @@
+//! DSP — Dependency-aware Scheduling and Preemption: the public façade.
+//!
+//! This crate wires the substrates together into the system the paper
+//! describes and the experiment harness that regenerates its evaluation:
+//!
+//! * [`DspSystem`] — the offline-phase + online-phase pipeline: a
+//!   [`dsp_sched::Scheduler`] produces `[start, node]` per task every
+//!   scheduling period; the [`dsp_preempt::DspPolicy`] adjusts the running
+//!   mix every epoch; the `dsp-sim` engine executes and measures.
+//! * [`config::Params`] — Table II's parameter settings in one struct.
+//! * [`experiment`] — a declarative experiment runner
+//!   (`ExperimentConfig` → `RunMetrics`).
+//! * [`sweep`] — seeded parallel sweeps over job counts and methods
+//!   (crossbeam-threaded, one simulation per worker).
+//! * [`figures`] — one builder per paper figure (Fig. 5–8), each returning
+//!   a `dsp_metrics::SweepSeries` that the `reproduce` binary prints.
+//!
+//! ```
+//! use dsp_core::{DspSystem, config::Params};
+//! use dsp_trace::{generate_workload, TraceParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let trace = TraceParams { task_scale: 0.02, ..TraceParams::default() };
+//! let jobs = generate_workload(&mut rng, 6, &trace);
+//! let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+//! let report = system.run(&jobs);
+//! assert_eq!(report.jobs_completed(), 6);
+//! ```
+
+pub mod ablation;
+pub mod config;
+pub mod experiment;
+pub mod figures;
+pub mod sweep;
+pub mod system;
+
+pub use config::Params;
+pub use experiment::{run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod};
+pub use ablation::all_ablations;
+pub use figures::{fig5, fig6, fig7, fig8, FigureScale};
+pub use sweep::parallel_map;
+pub use system::DspSystem;
+
+// Re-export the workspace so downstream users need one dependency.
+pub use dsp_cluster as cluster;
+pub use dsp_dag as dag;
+pub use dsp_lp as lp;
+pub use dsp_metrics as metrics;
+pub use dsp_preempt as preempt;
+pub use dsp_sched as sched;
+pub use dsp_sim as sim;
+pub use dsp_trace as trace;
+pub use dsp_units as units;

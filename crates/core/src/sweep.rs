@@ -1,0 +1,75 @@
+//! Parallel experiment fan-out.
+//!
+//! Sweeps are embarrassingly parallel: each configuration runs its own
+//! simulation on a crossbeam-scoped worker, results land in a
+//! `parking_lot`-guarded sink, and order is restored by index so output is
+//! deterministic regardless of thread interleaving.
+
+use parking_lot::Mutex;
+
+/// Map `f` over `inputs` in parallel with at most `threads` workers,
+/// preserving input order in the output. `threads = 0` means one worker
+/// per input (capped at the available parallelism).
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = if threads == 0 { n.min(hw) } else { threads.min(n) };
+    if workers <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let slots: Mutex<Vec<Option<R>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&inputs_ref[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_empty() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
+        assert!(parallel_map(Vec::<i32>::new(), 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        let out = parallel_map((0..10).collect(), 0, |&x: &i32| x);
+        assert_eq!(out.len(), 10);
+    }
+}

@@ -1,0 +1,106 @@
+//! The `DspSystem` façade: offline phase + online phase over your own jobs.
+
+use crate::config::Params;
+use crate::experiment::periodic_schedules;
+use dsp_cluster::ClusterSpec;
+use dsp_dag::Job;
+use dsp_metrics::RunMetrics;
+use dsp_preempt::DspPolicy;
+use dsp_sched::{DspListScheduler, Scheduler};
+use dsp_sim::{Engine, PreemptPolicy};
+
+/// The assembled DSP system: give it a cluster and Table II parameters,
+/// feed it jobs, get measured execution back.
+///
+/// The offline phase runs every [`Params::sched_period`] over the jobs that
+/// arrived in that period; the online phase re-evaluates priorities and
+/// preempts every [`Params::epoch`].
+#[derive(Debug, Clone)]
+pub struct DspSystem {
+    /// Node inventory.
+    pub cluster: ClusterSpec,
+    /// Table II parameters.
+    pub params: Params,
+}
+
+impl DspSystem {
+    /// Assemble a system.
+    pub fn new(cluster: ClusterSpec, params: Params) -> Self {
+        DspSystem { cluster, params }
+    }
+
+    /// Run the full DSP pipeline (list scheduler offline, Algorithm 1 with
+    /// PP online) over `jobs`. Jobs must be indexed by their `JobId`
+    /// (`jobs[i].id == JobId(i)`), which `dsp_trace::generate_workload`
+    /// guarantees.
+    pub fn run(&self, jobs: &[Job]) -> RunMetrics {
+        let mut sched = DspListScheduler { gamma: self.params.gamma };
+        let mut policy = DspPolicy::new(self.params.dsp_params(true));
+        self.run_with(jobs, &mut sched, &mut policy)
+    }
+
+    /// Run with a custom offline scheduler and online policy — the hook the
+    /// experiment harness and downstream users share.
+    pub fn run_with(
+        &self,
+        jobs: &[Job],
+        scheduler: &mut dyn Scheduler,
+        policy: &mut dyn PreemptPolicy,
+    ) -> RunMetrics {
+        self.run_with_faults(jobs, scheduler, policy, dsp_sim::FaultPlan::none())
+    }
+
+    /// [`Self::run_with`] under a deterministic fault schedule (node
+    /// crashes, stragglers) — the paper's future-work scenario, usable for
+    /// failure-injection experiments.
+    pub fn run_with_faults(
+        &self,
+        jobs: &[Job],
+        scheduler: &mut dyn Scheduler,
+        policy: &mut dyn PreemptPolicy,
+        faults: dsp_sim::FaultPlan,
+    ) -> RunMetrics {
+        let batches =
+            periodic_schedules(jobs, &self.cluster, self.params.sched_period, scheduler);
+        let mut engine = Engine::new(jobs, &self.cluster, self.params.engine_config());
+        for (at, schedule) in batches {
+            engine.add_batch(at, schedule);
+        }
+        engine.add_faults(faults);
+        engine.run(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_preempt::SrptPolicy;
+    use dsp_sched::FifoScheduler;
+    use dsp_trace::{generate_workload, TraceParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(n: usize) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(5);
+        generate_workload(&mut rng, n, &TraceParams { task_scale: 0.02, ..TraceParams::default() })
+    }
+
+    #[test]
+    fn facade_runs_dsp_end_to_end() {
+        let sys = DspSystem::new(dsp_cluster::ec2(), Params::default());
+        let jobs = workload(5);
+        let m = sys.run(&jobs);
+        assert_eq!(m.jobs_completed(), 5);
+        assert_eq!(m.disorders, 0, "DSP never violates dependency order");
+    }
+
+    #[test]
+    fn custom_methods_slot_in() {
+        let sys = DspSystem::new(dsp_cluster::ec2(), Params::default());
+        let jobs = workload(4);
+        let mut sched = FifoScheduler;
+        let mut pol = SrptPolicy::default();
+        let m = sys.run_with(&jobs, &mut sched, &mut pol);
+        assert_eq!(m.jobs_completed(), 4);
+    }
+}

@@ -1,0 +1,79 @@
+//! Critical-path quantities used by the dependency-aware list scheduler.
+//!
+//! `upward_rank(v)` is the length of the longest execution-time path from
+//! `v` to any leaf, *including* `v`'s own execution time. The critical path
+//! of the job is the maximum upward rank over the roots; no schedule can
+//! finish the job faster than that on any set of nodes.
+
+use crate::graph::Dag;
+use dsp_units::Dur;
+
+/// Upward rank (bottom level) of every task given per-task execution-time
+/// estimates (`exec[v]` = estimated execution time of task `v`).
+///
+/// Panics in debug builds if `exec.len() != dag.len()`.
+pub fn upward_ranks(dag: &Dag, exec: &[Dur]) -> Vec<Dur> {
+    debug_assert_eq!(exec.len(), dag.len());
+    let order = dag.topo_order();
+    let mut rank = vec![Dur::ZERO; dag.len()];
+    for &v in order.iter().rev() {
+        let best_child = dag
+            .children(v)
+            .iter()
+            .map(|&c| rank[c as usize])
+            .max()
+            .unwrap_or(Dur::ZERO);
+        rank[v as usize] = exec[v as usize] + best_child;
+    }
+    rank
+}
+
+/// The critical-path length of the whole DAG: the largest upward rank.
+pub fn critical_path_len(dag: &Dag, exec: &[Dur]) -> Dur {
+    upward_ranks(dag, exec).into_iter().max().unwrap_or(Dur::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Dur {
+        Dur::from_secs(s)
+    }
+
+    #[test]
+    fn chain_rank_is_suffix_sum() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let exec = [secs(1), secs(2), secs(3)];
+        let r = upward_ranks(&g, &exec);
+        assert_eq!(r, vec![secs(6), secs(5), secs(3)]);
+        assert_eq!(critical_path_len(&g, &exec), secs(6));
+    }
+
+    #[test]
+    fn diamond_takes_heavier_branch() {
+        let mut g = Dag::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let exec = [secs(1), secs(10), secs(2), secs(1)];
+        let r = upward_ranks(&g, &exec);
+        assert_eq!(r[0], secs(12)); // 0 -> 1 -> 3
+        assert_eq!(critical_path_len(&g, &exec), secs(12));
+    }
+
+    #[test]
+    fn independent_tasks_rank_is_own_time() {
+        let g = Dag::new(3);
+        let exec = [secs(3), secs(1), secs(2)];
+        assert_eq!(upward_ranks(&g, &exec), exec.to_vec());
+        assert_eq!(critical_path_len(&g, &exec), secs(3));
+    }
+
+    #[test]
+    fn empty_dag() {
+        assert_eq!(critical_path_len(&Dag::new(0), &[]), Dur::ZERO);
+    }
+}

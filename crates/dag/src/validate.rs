@@ -1,0 +1,102 @@
+//! Job invariant checking.
+
+use crate::job::Job;
+use std::fmt;
+
+/// A violated job invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// `tasks.len()` and `dag.len()` disagree (only reachable through
+    /// deserialized data — `Job::new` asserts it).
+    LengthMismatch { tasks: usize, dag: usize },
+    /// A task has zero size: it would finish instantly and pollute
+    /// remaining-time priorities with divisions by ~zero.
+    ZeroSizeTask(u32),
+    /// Deadline precedes arrival.
+    DeadlineBeforeArrival,
+    /// A task demands no resources at all.
+    ZeroDemandTask(u32),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::LengthMismatch { tasks, dag } => {
+                write!(f, "{tasks} tasks but DAG over {dag}")
+            }
+            ValidationError::ZeroSizeTask(v) => write!(f, "task {v} has zero size"),
+            ValidationError::DeadlineBeforeArrival => write!(f, "deadline precedes arrival"),
+            ValidationError::ZeroDemandTask(v) => write!(f, "task {v} demands no resources"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check every job invariant the rest of the workspace relies on.
+/// Acyclicity needs no check: [`crate::graph::Dag`] rejects cycles at
+/// insertion.
+pub fn validate_job(job: &Job) -> Result<(), ValidationError> {
+    if job.tasks.len() != job.dag.len() {
+        return Err(ValidationError::LengthMismatch { tasks: job.tasks.len(), dag: job.dag.len() });
+    }
+    if job.deadline < job.arrival {
+        return Err(ValidationError::DeadlineBeforeArrival);
+    }
+    for (v, t) in job.tasks.iter().enumerate() {
+        if t.size.get() <= 0.0 {
+            return Err(ValidationError::ZeroSizeTask(v as u32));
+        }
+        if t.demand.is_zero() {
+            return Err(ValidationError::ZeroDemandTask(v as u32));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dag;
+    use crate::ids::JobId;
+    use crate::job::JobClass;
+    use crate::task::TaskSpec;
+    use dsp_units::{Mi, ResourceVec, Time};
+
+    fn ok_job() -> Job {
+        Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::from_secs(1),
+            Time::from_secs(10),
+            vec![TaskSpec::sized(5.0)],
+            Dag::new(1),
+        )
+    }
+
+    #[test]
+    fn valid_job_passes() {
+        assert!(validate_job(&ok_job()).is_ok());
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut j = ok_job();
+        j.tasks[0].size = Mi::ZERO;
+        assert_eq!(validate_job(&j), Err(ValidationError::ZeroSizeTask(0)));
+    }
+
+    #[test]
+    fn zero_demand_rejected() {
+        let mut j = ok_job();
+        j.tasks[0].demand = ResourceVec::ZERO;
+        assert_eq!(validate_job(&j), Err(ValidationError::ZeroDemandTask(0)));
+    }
+
+    #[test]
+    fn backwards_deadline_rejected() {
+        let mut j = ok_job();
+        j.deadline = Time::ZERO;
+        assert_eq!(validate_job(&j), Err(ValidationError::DeadlineBeforeArrival));
+    }
+}

@@ -1,0 +1,60 @@
+//! Solver statuses and errors.
+
+use std::fmt;
+
+/// Terminal status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// Branch-and-bound hit its node or time budget; the incumbent (if any)
+    /// is feasible but not proven optimal.
+    BudgetExhausted,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::BudgetExhausted => "budget exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors raised while building or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The model is malformed (bad variable id, inverted bounds, NaN
+    /// coefficient …).
+    Model(String),
+    /// The LP is infeasible.
+    Infeasible,
+    /// The LP is unbounded.
+    Unbounded,
+    /// Branch-and-bound exhausted its budget without any incumbent.
+    NoIncumbent,
+    /// Simplex failed to converge within its iteration cap — numerically
+    /// degenerate input.
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Model(m) => write!(f, "model error: {m}"),
+            LpError::Infeasible => f.write_str("infeasible"),
+            LpError::Unbounded => f.write_str("unbounded"),
+            LpError::NoIncumbent => f.write_str("budget exhausted with no incumbent"),
+            LpError::IterationLimit => f.write_str("simplex iteration limit"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

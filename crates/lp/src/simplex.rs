@@ -1,0 +1,567 @@
+//! Dense two-phase primal simplex.
+//!
+//! Textbook tableau implementation with Bland's anti-cycling rule. Geared
+//! for correctness and the modest instance sizes the DSP formulation
+//! produces (hundreds of rows), not for sparse industrial LPs.
+
+use crate::error::LpError;
+use crate::problem::{Cmp, Problem, Sense};
+
+const TOL: f64 = 1e-9;
+
+/// An LP solution: the point, its objective value, and the iteration count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal point in the original variable space.
+    pub x: Vec<f64>,
+    /// Objective value at `x`, in the problem's own sense.
+    pub objective: f64,
+    /// Simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+/// How each original variable maps into the non-negative standard-form
+/// space.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = x'_col + shift`, `x' ≥ 0`.
+    Shifted { col: usize, shift: f64 },
+    /// `x = ub − x'_col`, `x' ≥ 0` (lower unbounded, upper finite).
+    Flipped { col: usize, ub: f64 },
+    /// `x = x'_pos − x'_neg` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+struct Standard {
+    /// Rows of the constraint matrix over standard-form columns.
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    /// Objective over standard-form columns (always *minimize*).
+    cost: Vec<f64>,
+    /// Constant folded out of the objective by the variable shifts.
+    cost_offset: f64,
+    /// Map from original variables to standard columns.
+    map: Vec<VarMap>,
+}
+
+/// Convert a [`Problem`] to standard form `min c'x, Ax {≤,=,≥} b, x ≥ 0`
+/// (slacks are added later by the tableau builder).
+fn standardize(p: &Problem) -> Standard {
+    let mut map = Vec::with_capacity(p.vars.len());
+    let mut n = 0usize;
+    // Extra rows for finite upper bounds of shifted vars.
+    let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+    for v in &p.vars {
+        let lower_finite = v.lower.is_finite();
+        let upper_finite = v.upper.is_finite();
+        let m = if lower_finite {
+            let col = n;
+            n += 1;
+            if upper_finite {
+                ub_rows.push((col, v.upper - v.lower));
+            }
+            VarMap::Shifted { col, shift: v.lower }
+        } else if upper_finite {
+            let col = n;
+            n += 1;
+            VarMap::Flipped { col, ub: v.upper }
+        } else {
+            let pos = n;
+            let neg = n + 1;
+            n += 2;
+            VarMap::Split { pos, neg }
+        };
+        map.push(m);
+    }
+
+    let sign = match p.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let mut cost = vec![0.0; n];
+    let mut cost_offset = 0.0;
+    for (v, m) in p.vars.iter().zip(&map) {
+        let c = sign * v.obj;
+        match *m {
+            VarMap::Shifted { col, shift } => {
+                cost[col] += c;
+                cost_offset += c * shift;
+            }
+            VarMap::Flipped { col, ub } => {
+                cost[col] -= c;
+                cost_offset += c * ub;
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut rhs = Vec::new();
+    let mut cmps = Vec::new();
+    for cons in &p.constraints {
+        let mut row = vec![0.0; n];
+        let mut b = cons.rhs;
+        for &(vid, a) in &cons.terms {
+            match map[vid.0] {
+                VarMap::Shifted { col, shift } => {
+                    row[col] += a;
+                    b -= a * shift;
+                }
+                VarMap::Flipped { col, ub } => {
+                    row[col] -= a;
+                    b -= a * ub;
+                }
+                VarMap::Split { pos, neg } => {
+                    row[pos] += a;
+                    row[neg] -= a;
+                }
+            }
+        }
+        rows.push(row);
+        rhs.push(b);
+        cmps.push(cons.cmp);
+    }
+    for (col, ub) in ub_rows {
+        let mut row = vec![0.0; n];
+        row[col] = 1.0;
+        rows.push(row);
+        rhs.push(ub);
+        cmps.push(Cmp::Le);
+    }
+
+    // Attach slack/surplus columns; normalize rhs ≥ 0 first (negating a row
+    // flips its comparison).
+    let m_rows = rows.len();
+    let mut slack_cols = 0usize;
+    for i in 0..m_rows {
+        if rhs[i] < 0.0 {
+            rhs[i] = -rhs[i];
+            for a in rows[i].iter_mut() {
+                *a = -*a;
+            }
+            cmps[i] = match cmps[i] {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        if !matches!(cmps[i], Cmp::Eq) {
+            slack_cols += 1;
+        }
+    }
+    let total = n + slack_cols;
+    let mut next_slack = n;
+    for i in 0..m_rows {
+        rows[i].resize(total, 0.0);
+        match cmps[i] {
+            Cmp::Le => {
+                rows[i][next_slack] = 1.0;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                rows[i][next_slack] = -1.0;
+                next_slack += 1;
+            }
+            Cmp::Eq => {}
+        }
+    }
+    cost.resize(total, 0.0);
+
+    Standard { rows, rhs, cost, cost_offset, map }
+}
+
+/// Full-tableau simplex state.
+struct Tableau {
+    /// `m × (n+1)` tableau; last column is the rhs.
+    t: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `n+1`; last entry is
+    /// `-objective`.
+    z: Vec<f64>,
+    basis: Vec<usize>,
+    n: usize,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.t[row][col];
+        debug_assert!(piv.abs() > TOL);
+        let inv = 1.0 / piv;
+        for a in self.t[row].iter_mut() {
+            *a *= inv;
+        }
+        for r in 0..self.t.len() {
+            if r != row {
+                let factor = self.t[r][col];
+                if factor.abs() > TOL {
+                    for j in 0..=self.n {
+                        let v = self.t[row][j];
+                        self.t[r][j] -= factor * v;
+                    }
+                }
+            }
+        }
+        let zf = self.z[col];
+        if zf.abs() > TOL {
+            for j in 0..=self.n {
+                self.z[j] -= zf * self.t[row][j];
+            }
+        }
+        self.basis[row] = col;
+        self.iterations += 1;
+    }
+
+    /// Run simplex to optimality on the current objective row.
+    /// `allowed` masks the columns eligible to enter.
+    fn optimize(&mut self, allowed: &[bool], max_iters: usize) -> Result<(), LpError> {
+        loop {
+            if self.iterations > max_iters {
+                return Err(LpError::IterationLimit);
+            }
+            // Bland's rule: smallest-index column with negative reduced
+            // cost.
+            let entering = (0..self.n).find(|&j| allowed[j] && self.z[j] < -TOL);
+            let Some(col) = entering else { return Ok(()) };
+            // Ratio test; Bland tie-break on the smallest basis variable.
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..self.t.len() {
+                let a = self.t[r][col];
+                if a > TOL {
+                    let ratio = self.t[r][self.n] / a;
+                    match best {
+                        None => best = Some((r, ratio)),
+                        Some((br, bratio)) => {
+                            if ratio < bratio - TOL
+                                || ((ratio - bratio).abs() <= TOL
+                                    && self.basis[r] < self.basis[br])
+                            {
+                                best = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((row, _)) => self.pivot(row, col),
+                None => return Err(LpError::Unbounded),
+            }
+        }
+    }
+}
+
+/// Solve a linear program (integer markers are ignored — this is the pure
+/// relaxation solver). Returns the optimal [`Solution`] or an error for
+/// infeasible/unbounded models.
+pub fn solve_lp(p: &Problem) -> Result<Solution, LpError> {
+    p.validate()?;
+    if p.num_vars() == 0 {
+        // Feasible iff every constraint holds with all-empty lhs.
+        for c in &p.constraints {
+            let ok = match c.cmp {
+                Cmp::Le => 0.0 <= c.rhs + TOL,
+                Cmp::Ge => 0.0 >= c.rhs - TOL,
+                Cmp::Eq => c.rhs.abs() <= TOL,
+            };
+            if !ok {
+                return Err(LpError::Infeasible);
+            }
+        }
+        return Ok(Solution { x: vec![], objective: 0.0, iterations: 0 });
+    }
+
+    let std_form = standardize(p);
+    let m = std_form.rows.len();
+    let n_cols = std_form.cost.len();
+    let n_total = n_cols + m; // one artificial per row
+
+    // Build the phase-1 tableau: [A | I | b].
+    let mut t: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for (i, row) in std_form.rows.iter().enumerate() {
+        let mut r = Vec::with_capacity(n_total + 1);
+        r.extend_from_slice(row);
+        for j in 0..m {
+            r.push(if j == i { 1.0 } else { 0.0 });
+        }
+        r.push(std_form.rhs[i]);
+        t.push(r);
+    }
+    let basis: Vec<usize> = (n_cols..n_total).collect();
+
+    // Phase-1 objective: minimize the artificial sum. Reduced-cost row =
+    // Σ (0·struct − row_i) for each artificial basic row.
+    let mut z1 = vec![0.0; n_total + 1];
+    for z in z1.iter_mut().take(n_total).skip(n_cols) {
+        *z = 1.0;
+    }
+    for row in &t {
+        for (z, r) in z1.iter_mut().zip(row.iter()) {
+            *z -= r;
+        }
+    }
+    // Artificial columns start basic with zero reduced cost.
+    for z in z1.iter_mut().take(n_total).skip(n_cols) {
+        *z = 0.0;
+    }
+
+    let mut tab = Tableau { t, z: z1, basis, n: n_total, iterations: 0 };
+    let max_iters = 20_000 + 200 * (m + n_total);
+    let allowed_all = vec![true; n_total];
+    match tab.optimize(&allowed_all, max_iters) {
+        Ok(()) => {}
+        Err(LpError::Unbounded) => {
+            // Phase 1 is bounded below by zero; unbounded here means a
+            // numerical breakdown.
+            return Err(LpError::IterationLimit);
+        }
+        Err(e) => return Err(e),
+    }
+    let phase1_obj = -tab.z[n_total];
+    if phase1_obj > 1e-6 {
+        return Err(LpError::Infeasible);
+    }
+
+    // Drive any artificial variables still in the basis out (degenerate
+    // zero rows), pivoting on any structural column with a nonzero entry.
+    for r in 0..m {
+        if tab.basis[r] >= n_cols {
+            if let Some(col) = (0..n_cols).find(|&j| tab.t[r][j].abs() > TOL) {
+                tab.pivot(r, col);
+            }
+            // If no structural pivot exists the row is redundant; leaving
+            // the zero-valued artificial basic is harmless.
+        }
+    }
+
+    // Phase 2: original cost over structural columns only.
+    let mut z2 = vec![0.0; n_total + 1];
+    z2[..n_cols].copy_from_slice(&std_form.cost);
+    for r in 0..m {
+        let b = tab.basis[r];
+        let cb = if b < n_cols { std_form.cost[b] } else { 0.0 };
+        if cb.abs() > TOL {
+            for (z, v) in z2.iter_mut().zip(tab.t[r].iter()) {
+                *z -= cb * v;
+            }
+        }
+    }
+    // Basic columns must show zero reduced cost exactly.
+    for r in 0..m {
+        z2[tab.basis[r]] = 0.0;
+    }
+    tab.z = z2;
+
+    let mut allowed = vec![true; n_total];
+    for a in allowed.iter_mut().skip(n_cols) {
+        *a = false; // artificials may never re-enter
+    }
+    tab.optimize(&allowed, max_iters)?;
+
+    // Extract the standard-form point.
+    let mut xs = vec![0.0; n_cols];
+    for r in 0..m {
+        if tab.basis[r] < n_cols {
+            xs[tab.basis[r]] = tab.t[r][n_total];
+        }
+    }
+    // Map back to the original variables.
+    let mut x = vec![0.0; p.num_vars()];
+    for (i, vm) in std_form.map.iter().enumerate() {
+        x[i] = match *vm {
+            VarMap::Shifted { col, shift } => xs[col] + shift,
+            VarMap::Flipped { col, ub } => ub - xs[col],
+            VarMap::Split { pos, neg } => xs[pos] - xs[neg],
+        };
+    }
+    let min_obj = -tab.z[n_total] + std_form.cost_offset;
+    let objective = match p.sense {
+        Sense::Min => min_obj,
+        Sense::Max => -min_obj,
+    };
+    Ok(Solution { x, objective, iterations: tab.iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut p = Problem::new(Sense::Max);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+        p.add_constraint("c1", vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint("c2", vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn min_with_ge_needs_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → (10−y chooses cheap x) …
+        // optimum at y = 0, x = 10: z = 20? Check: coefficient of x is
+        // smaller, so push everything onto x. x ≥ 2 non-binding.
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 3.0);
+        p.add_constraint("sum", vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        p.add_constraint("xmin", vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[0], 10.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 8, x − y = 2 → x = 4, y = 2, z = 6.
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint("e1", vec![(x, 1.0), (y, 2.0)], Cmp::Eq, 8.0);
+        p.add_constraint("e2", vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.x[0], 4.0);
+        assert_close(s.x[1], 2.0);
+        assert_close(s.objective, 6.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint("c", vec![(x, 1.0)], Cmp::Ge, 5.0);
+        assert_eq!(solve_lp(&p), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Sense::Max);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint("c", vec![(x, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve_lp(&p), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x + y with 1 ≤ x ≤ 3, 0 ≤ y ≤ 2, x + y ≤ 4 → (3, 1) or (2,2);
+        // objective 4 either way.
+        let mut p = Problem::new(Sense::Max);
+        let x = p.add_var("x", 1.0, 3.0, 1.0);
+        let y = p.add_var("y", 0.0, 2.0, 1.0);
+        p.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 4.0);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_objective() {
+        // min x with x ≥ 5 (bound only, no constraint rows).
+        let mut p = Problem::new(Sense::Min);
+        let _x = p.add_var("x", 5.0, f64::INFINITY, 1.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[0], 5.0);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |style| objective: min y s.t. y ≥ x − 3, y ≥ 3 − x, x free →
+        // optimum y = 0 at x = 3.
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint("a", vec![(y, 1.0), (x, -1.0)], Cmp::Ge, -3.0);
+        p.add_constraint("b", vec![(y, 1.0), (x, 1.0)], Cmp::Ge, 3.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 0.0);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn upper_bounded_only_variable() {
+        // max x with x ≤ 7 and lower unbounded → flipped var path.
+        let mut p = Problem::new(Sense::Max);
+        let _x = p.add_var("x", f64::NEG_INFINITY, 7.0, 1.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 7.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints meeting at the optimum.
+        let mut p = Problem::new(Sense::Max);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint("c1", vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint("c2", vec![(x, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint("c3", vec![(y, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint("c4", vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's classic degenerate LP makes naive Dantzig pivoting cycle
+        // forever; Bland's rule must terminate at the optimum z = −0.05.
+        // min −0.75x4 + 150x5 − 0.02x6 + 6x7
+        // s.t. 0.25x4 − 60x5 − 0.04x6 + 9x7 ≤ 0
+        //      0.5x4 − 90x5 − 0.02x6 + 3x7 ≤ 0
+        //      x6 ≤ 1
+        let mut p = Problem::new(Sense::Min);
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY, -0.75);
+        let x5 = p.add_var("x5", 0.0, f64::INFINITY, 150.0);
+        let x6 = p.add_var("x6", 0.0, f64::INFINITY, -0.02);
+        let x7 = p.add_var("x7", 0.0, f64::INFINITY, 6.0);
+        p.add_constraint(
+            "r1",
+            vec![(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "r2",
+            vec![(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint("r3", vec![(x6, 1.0)], Cmp::Le, 1.0);
+        let s = solve_lp(&p).expect("Bland's rule terminates");
+        assert_close(s.objective, -0.05);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(Sense::Min);
+        let s = solve_lp(&p).unwrap();
+        assert!(s.x.is_empty());
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn solution_is_always_feasible() {
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_var("y", 0.0, 10.0, 2.0);
+        let z = p.add_var("z", 0.0, 10.0, 3.0);
+        p.add_constraint("c1", vec![(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Ge, 6.0);
+        p.add_constraint("c2", vec![(x, 1.0), (y, -1.0)], Cmp::Le, 2.0);
+        p.add_constraint("c3", vec![(z, 1.0)], Cmp::Ge, 1.0);
+        let s = solve_lp(&p).unwrap();
+        assert!(p.is_feasible(&s.x, 1e-6), "{:?}", s.x);
+    }
+}

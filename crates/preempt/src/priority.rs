@@ -1,0 +1,318 @@
+//! Dependency-aware task priorities: Eqs. 12 and 13.
+//!
+//! A task with live dependents gets the recursive priority
+//!
+//! ```text
+//! P(T) = Σ_{c ∈ children(T), c not done} (γ + 1) · P(c)        (Eq. 12)
+//! ```
+//!
+//! and a task with no live dependents gets the leaf priority
+//!
+//! ```text
+//! P(T) = ω1 · 1/t_rem + ω2 · t_w + ω3 · t_a                    (Eq. 13)
+//! ```
+//!
+//! with the Table II weights ω = (0.5, 0.3, 0.2) and γ = 0.5. Children that
+//! have already finished contribute nothing — their subtree is history; a
+//! task whose children are all done is, for priority purposes, a leaf.
+
+use dsp_dag::TaskId;
+use dsp_sim::{NodeView, TaskSnapshot, WorldCtx};
+use dsp_units::Dur;
+use std::collections::HashMap;
+
+/// Computed priorities for every live (not-done) task visible this epoch,
+/// stored per job for O(1) hash-free task lookup (the preemption policy
+/// reads millions of priorities per run on large sweeps).
+#[derive(Debug, Clone, Default)]
+pub struct PriorityMap {
+    per_job: HashMap<u32, Vec<f64>>,
+    len: usize,
+}
+
+impl PriorityMap {
+    /// New empty map.
+    pub fn new() -> Self {
+        PriorityMap::default()
+    }
+
+    /// Priority of a task, if it was live this epoch.
+    pub fn get(&self, t: &TaskId) -> Option<f64> {
+        let v = self.per_job.get(&t.job.get())?;
+        let p = *v.get(t.idx())?;
+        if p.is_nan() {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Number of live tasks with priorities.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no task is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate all priorities (order unspecified).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.per_job.values().flatten().copied().filter(|p| !p.is_nan())
+    }
+
+    fn insert(&mut self, t: TaskId, n_tasks: usize, p: f64) {
+        let v = self
+            .per_job
+            .entry(t.job.get())
+            .or_insert_with(|| vec![f64::NAN; n_tasks]);
+        if v[t.idx()].is_nan() {
+            self.len += 1;
+        }
+        v[t.idx()] = p;
+    }
+}
+
+/// Weights of the leaf priority (Eq. 13) and the level coefficient γ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityWeights {
+    /// ω1: weight of inverse remaining time.
+    pub w1: f64,
+    /// ω2: weight of accumulated waiting time.
+    pub w2: f64,
+    /// ω3: weight of allowable waiting time.
+    pub w3: f64,
+    /// γ ∈ (0,1): boosts tasks whose dependents sit in shallower levels.
+    pub gamma: f64,
+}
+
+impl Default for PriorityWeights {
+    fn default() -> Self {
+        // Table II: ω1 = 0.5, ω2 = 0.3, ω3 = 0.2, γ = 0.5.
+        PriorityWeights { w1: 0.5, w2: 0.3, w3: 0.2, gamma: 0.5 }
+    }
+}
+
+/// Floor on remaining time so `1/t_rem` stays finite as a task approaches
+/// completion.
+const MIN_REMAINING: Dur = Dur::from_millis(1);
+
+/// Eq. 13 for one snapshot.
+pub fn leaf_priority(s: &TaskSnapshot, w: &PriorityWeights) -> f64 {
+    let rem = s.remaining_time.max(MIN_REMAINING).as_secs_f64();
+    w.w1 * (1.0 / rem) + w.w2 * s.waiting.as_secs_f64() + w.w3 * s.allowable_wait.as_secs_f64()
+}
+
+/// Compute the Eq. 12/13 priorities of every task that appears in the
+/// epoch's node views (running or waiting anywhere in the cluster).
+///
+/// The recursion runs per job in reverse topological order; children that
+/// are finished (absent from every view) are skipped, and a task whose
+/// remaining children are all finished falls back to the leaf formula.
+pub fn compute_priorities(
+    views: &[NodeView],
+    world: &WorldCtx<'_>,
+    w: &PriorityWeights,
+) -> PriorityMap {
+    // Gather live snapshots per job (NAN-marked slots = finished/absent).
+    let mut snaps: HashMap<u32, Vec<Option<TaskSnapshot>>> = HashMap::new();
+    for view in views {
+        for s in view.running.iter().chain(view.waiting.iter()) {
+            let job = &world.jobs[s.id.job.idx()];
+            snaps
+                .entry(s.id.job.get())
+                .or_insert_with(|| vec![None; job.num_tasks()])
+                [s.id.idx()] = Some(*s);
+        }
+    }
+    let mut out = PriorityMap::new();
+    let mut jobs_seen: Vec<u32> = snaps.keys().copied().collect();
+    jobs_seen.sort_unstable();
+    for j in jobs_seen {
+        let job = &world.jobs[j as usize];
+        let job_snaps = &snaps[&j];
+        let mut prio = vec![f64::NAN; job.num_tasks()];
+        for &v in job.dag.topo_order().iter().rev() {
+            let Some(s) = &job_snaps[v as usize] else { continue }; // finished task
+            let child_sum: f64 = job
+                .dag
+                .children(v)
+                .iter()
+                .map(|&c| prio[c as usize])
+                .filter(|p| !p.is_nan())
+                .map(|p| (w.gamma + 1.0) * p)
+                .sum();
+            let p = if child_sum > 0.0 { child_sum } else { leaf_priority(s, w) };
+            prio[v as usize] = p;
+            out.insert(job.task_id(v), job.num_tasks(), p);
+        }
+    }
+    out
+}
+
+/// The PP filter's global scale: sort all priorities ascending and average
+/// the gaps between neighbours (`P̄` in Section IV-B). Zero when fewer than
+/// two tasks are live.
+pub fn mean_neighbor_gap(map: &PriorityMap) -> f64 {
+    if map.len() < 2 {
+        return 0.0;
+    }
+    // The mean of sorted-neighbour gaps telescopes to (max − min)/(n−1):
+    // no sort needed — an O(n) scan.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut n = 0usize;
+    for p in map.values() {
+        lo = lo.min(p);
+        hi = hi.max(p);
+        n += 1;
+    }
+    if n < 2 || !lo.is_finite() || !hi.is_finite() {
+        return 0.0;
+    }
+    (hi - lo) / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_cluster::NodeId;
+    use dsp_dag::{Dag, Job, JobClass, JobId, TaskSpec};
+    use dsp_units::{Mi, ResourceVec, Time};
+
+    fn snap(id: TaskId, rem_ms: u64, wait_ms: u64, allow_ms: u64) -> TaskSnapshot {
+        TaskSnapshot {
+            id,
+            remaining_work: Mi::new(1.0),
+            remaining_time: Dur::from_millis(rem_ms),
+            waiting: Dur::from_millis(wait_ms),
+            deadline: Time::MAX,
+            allowable_wait: Dur::from_millis(allow_ms),
+            running: false,
+            ready: true,
+            demand: ResourceVec::cpu_mem(0.1, 0.1),
+            size: Mi::new(1.0),
+            preemptions: 0,
+        }
+    }
+
+    fn fig2_job() -> Job {
+        let mut dag = Dag::new(7);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)] {
+            dag.add_edge(u, v).unwrap();
+        }
+        Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::ZERO,
+            Time::MAX,
+            vec![TaskSpec::sized(1000.0); 7],
+            dag,
+        )
+    }
+
+    fn views_of(job: &Job, snaps: Vec<TaskSnapshot>) -> Vec<NodeView> {
+        let _ = job;
+        vec![NodeView { node: NodeId(0), running: vec![], waiting: snaps, slots: 1 }]
+    }
+
+    #[test]
+    fn leaf_priority_matches_eq13() {
+        let w = PriorityWeights::default();
+        let s = snap(TaskId::new(0, 0), 2_000, 4_000, 10_000);
+        // 0.5·(1/2) + 0.3·4 + 0.2·10 = 0.25 + 1.2 + 2.0
+        assert!((leaf_priority(&s, &w) - 3.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remaining_time_floor_keeps_priority_finite() {
+        let w = PriorityWeights::default();
+        let s = snap(TaskId::new(0, 0), 0, 0, 0);
+        let p = leaf_priority(&s, &w);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn root_of_fig2_outranks_everything() {
+        // All 7 tasks live with identical leaf stats: the recursion gives
+        // root = ((γ+1)·leaf·2 per mid)·… strictly above mids, above leaves
+        // — the T1-first ordering the Fig. 2 discussion wants.
+        let job = fig2_job();
+        let snaps: Vec<_> = (0..7u32).map(|v| snap(job.task_id(v), 1_000, 0, 0)).collect();
+        let views = views_of(&job, snaps);
+        let jobs = vec![job.clone()];
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let p = compute_priorities(&views, &world, &PriorityWeights::default());
+        let at = |v: u32| p.get(&job.task_id(v)).unwrap();
+        assert!(at(0) > at(1) && at(0) > at(2));
+        assert!(at(1) > at(3) && at(2) > at(5));
+        // Eq. 12 arithmetic: leaf = 0.5; mid = 2·1.5·0.5 = 1.5; root =
+        // 2·1.5·1.5 = 4.5.
+        assert!((at(3) - 0.5).abs() < 1e-9);
+        assert!((at(1) - 1.5).abs() < 1e-9);
+        assert!((at(0) - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finished_children_stop_contributing() {
+        // Only the root and one leaf are live: the root's priority is the
+        // (γ+1)-scaled priority of that leaf alone.
+        let job = fig2_job();
+        let snaps = vec![snap(job.task_id(0), 1_000, 0, 0), snap(job.task_id(1), 1_000, 0, 0)];
+        let views = views_of(&job, snaps);
+        let jobs = vec![job.clone()];
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let p = compute_priorities(&views, &world, &PriorityWeights::default());
+        // Task 1's children (3, 4) are done → leaf formula (0.5); root sees
+        // only child 1: 1.5·0.5 = 0.75.
+        assert!((p.get(&job.task_id(1)).unwrap() - 0.5).abs() < 1e-9);
+        assert!((p.get(&job.task_id(0)).unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn more_waiting_means_higher_priority() {
+        let job = fig2_job();
+        let snaps = vec![snap(job.task_id(3), 1_000, 0, 0), snap(job.task_id(4), 1_000, 9_000, 0)];
+        let views = views_of(&job, snaps);
+        let jobs = vec![job.clone()];
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let p = compute_priorities(&views, &world, &PriorityWeights::default());
+        assert!(p.get(&job.task_id(4)).unwrap() > p.get(&job.task_id(3)).unwrap());
+    }
+
+    #[test]
+    fn mean_gap_of_evenly_spaced_priorities() {
+        let mut m = PriorityMap::new();
+        for (i, p) in [1.0f64, 3.0, 5.0, 7.0].iter().enumerate() {
+            m.insert(TaskId::new(0, i as u32), 4, *p);
+        }
+        // Mean sorted-neighbour gap telescopes to (max − min)/(n − 1) = 2.
+        assert!((mean_neighbor_gap(&m) - 2.0).abs() < 1e-12);
+        let empty = PriorityMap::new();
+        assert_eq!(mean_neighbor_gap(&empty), 0.0);
+        let mut one = PriorityMap::new();
+        one.insert(TaskId::new(0, 0), 1, 1.0);
+        assert_eq!(mean_neighbor_gap(&one), 0.0);
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert!(one.get(&TaskId::new(0, 0)).is_some());
+        assert!(one.get(&TaskId::new(1, 0)).is_none());
+    }
+
+    #[test]
+    fn cross_job_priorities_are_independent() {
+        let j0 = fig2_job();
+        let mut j1 = fig2_job();
+        j1.id = JobId(1);
+        let snaps = vec![snap(j0.task_id(3), 1_000, 0, 0), snap(TaskId::new(1, 3), 500, 0, 0)];
+        let views = views_of(&j0, snaps);
+        let jobs = vec![j0.clone(), j1];
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let p = compute_priorities(&views, &world, &PriorityWeights::default());
+        assert_eq!(p.len(), 2);
+        // Shorter remaining → higher priority (both are leaves).
+        assert!(p.get(&TaskId::new(1, 3)).unwrap() > p.get(&j0.task_id(3)).unwrap());
+    }
+}

@@ -1,0 +1,188 @@
+//! SRPT \[22\]: decentralized preemptive scheduling by a linear combination
+//! of waiting time and remaining time.
+//!
+//! "It uses the linear combination of waiting time and the remaining time
+//! for a task … to determine the priority of a task. SRPT does not use a
+//! checkpoint mechanism, so a preempted task must be restarted from
+//! scratch. As in \[22\], we set the weight of waiting time α to 0.5 and the
+//! weight of remaining time β to 1."
+//!
+//! Priority here is `α·t_w − β·t_rem` (waiting raises urgency, remaining
+//! work lowers it — shortest-remaining-processing-time with an anti-
+//! starvation term). The whole waiting queue is considered, dependencies
+//! are ignored, and restarts make preempted work repeat — the combination
+//! the paper blames for SRPT's last-place throughput and first-place
+//! preemption count.
+
+use dsp_sim::{NodeView, PreemptAction, PreemptPolicy, TaskSnapshot, WorldCtx};
+use dsp_units::{Dur, Time};
+
+/// The SRPT policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrptPolicy {
+    /// α: weight of waiting time (paper: 0.5).
+    pub alpha: f64,
+    /// β: weight of remaining time (paper: 1.0).
+    pub beta: f64,
+    /// Minimum remaining-time advantage a waiter must hold over its victim.
+    /// Without checkpointing every eviction erases the victim's progress,
+    /// so allowing arbitrarily small advantages lets the waiting-time term
+    /// drive a Zeno cycle in which long tasks preempt each other forever
+    /// and nothing past one epoch of work ever completes. Requiring the
+    /// waiter to be shorter by at least one epoch of work makes every
+    /// preemption chain strictly decreasing in remaining time, which
+    /// guarantees termination; the default (100 ms) is the scale of one
+    /// context switch, i.e. "the gain must at least pay for the switch".
+    /// (The cited system \[22\] makes preemption decisions per job arrival,
+    /// not per second, so it never hits this.)
+    pub min_gain: Dur,
+}
+
+impl Default for SrptPolicy {
+    fn default() -> Self {
+        SrptPolicy { alpha: 0.5, beta: 1.0, min_gain: Dur::from_millis(100) }
+    }
+}
+
+impl SrptPolicy {
+    /// The linear-combination priority.
+    pub fn priority(&self, s: &TaskSnapshot) -> f64 {
+        self.alpha * s.waiting.as_secs_f64() - self.beta * s.remaining_time.as_secs_f64()
+    }
+}
+
+impl PreemptPolicy for SrptPolicy {
+    fn name(&self) -> &str {
+        "SRPT"
+    }
+
+    fn decide(&mut self, _now: Time, view: &NodeView, _world: &WorldCtx<'_>) -> Vec<PreemptAction> {
+        let mut actions = Vec::new();
+        if view.running.is_empty() || view.waiting.is_empty() {
+            return actions;
+        }
+        // Running tasks ascending by priority; waiting descending.
+        let mut victims: Vec<&TaskSnapshot> = view.running.iter().collect();
+        victims.sort_by(|a, b| {
+            self.priority(a).partial_cmp(&self.priority(b)).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut waiters: Vec<&TaskSnapshot> = view.waiting.iter().collect();
+        waiters.sort_by(|a, b| {
+            self.priority(b).partial_cmp(&self.priority(a)).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut vi = 0usize;
+        for w in waiters {
+            if vi >= victims.len() {
+                break;
+            }
+            // Combined-priority win plus the min_gain remaining-time
+            // advantage (see the field docs for why both are required).
+            if self.priority(w) > self.priority(victims[vi])
+                && w.remaining_time + self.min_gain <= victims[vi].remaining_time
+            {
+                actions.push(PreemptAction { evict: victims[vi].id, admit: w.id });
+                vi += 1;
+            } else {
+                break;
+            }
+        }
+        actions
+    }
+
+    /// SRPT has no checkpoint mechanism.
+    fn checkpointing(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_cluster::NodeId;
+    use dsp_dag::{Dag, Job, JobClass, JobId, TaskId, TaskSpec};
+    use dsp_units::{Dur, Mi, ResourceVec};
+
+    fn snap(id: TaskId, running: bool, rem_ms: u64, wait_ms: u64) -> TaskSnapshot {
+        TaskSnapshot {
+            id,
+            remaining_work: Mi::new(1.0),
+            remaining_time: Dur::from_millis(rem_ms),
+            waiting: Dur::from_millis(wait_ms),
+            deadline: Time::MAX,
+            allowable_wait: Dur::from_secs(1000),
+            running,
+            ready: true,
+            demand: ResourceVec::cpu_mem(0.1, 0.1),
+            size: Mi::new(1.0),
+            preemptions: 0,
+        }
+    }
+
+    fn jobs() -> Vec<Job> {
+        vec![Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::ZERO,
+            Time::MAX,
+            vec![TaskSpec::sized(1000.0); 4],
+            Dag::new(4),
+        )]
+    }
+
+    #[test]
+    fn priority_combines_waiting_and_remaining() {
+        let p = SrptPolicy::default();
+        let short = snap(TaskId::new(0, 0), false, 1_000, 0);
+        let long = snap(TaskId::new(0, 1), false, 10_000, 0);
+        assert!(p.priority(&short) > p.priority(&long));
+        // Enough waiting flips the order: 0.5·t_w − 10 > −1 needs t_w > 18.
+        let long_waited = snap(TaskId::new(0, 1), false, 10_000, 20_000);
+        assert!(p.priority(&long_waited) > p.priority(&short));
+    }
+
+    #[test]
+    fn shorter_task_preempts() {
+        let jobs = jobs();
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let view = NodeView {
+            node: NodeId(0),
+            running: vec![snap(TaskId::new(0, 0), true, 30_000, 0)],
+            waiting: vec![snap(TaskId::new(0, 1), false, 500, 0)],
+            slots: 1,
+        };
+        let acts = SrptPolicy::default().decide(Time::ZERO, &view, &world);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].admit, TaskId::new(0, 1));
+        assert!(!SrptPolicy::default().checkpointing());
+    }
+
+    #[test]
+    fn equal_priorities_do_not_thrash() {
+        let jobs = jobs();
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let view = NodeView {
+            node: NodeId(0),
+            running: vec![snap(TaskId::new(0, 0), true, 5_000, 0)],
+            waiting: vec![snap(TaskId::new(0, 1), false, 5_000, 0)],
+            slots: 1,
+        };
+        assert!(SrptPolicy::default().decide(Time::ZERO, &view, &world).is_empty());
+    }
+
+    #[test]
+    fn pairs_best_waiter_with_worst_runner() {
+        let jobs = jobs();
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let view = NodeView {
+            node: NodeId(0),
+            running: vec![
+                snap(TaskId::new(0, 0), true, 9_000, 0),
+                snap(TaskId::new(0, 1), true, 50_000, 0),
+            ],
+            waiting: vec![snap(TaskId::new(0, 2), false, 100, 0)],
+            slots: 2,
+        };
+        let acts = SrptPolicy::default().decide(Time::ZERO, &view, &world);
+        assert_eq!(acts, vec![PreemptAction { evict: TaskId::new(0, 1), admit: TaskId::new(0, 2) }]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline schedulers: DSP (Section III) and the baselines of Section V.
+//!
+//! Every scheduler consumes a batch of jobs plus the cluster and emits a
+//! [`dsp_sim::Schedule`] — the `[t^s_ij, k|x_ijk=1]` pairs the paper's ILP
+//! outputs. Four families are implemented:
+//!
+//! * [`DspIlpScheduler`] — the exact Section III MILP (via `dsp-lp`) on
+//!   instances small enough for exact search, with automatic fallback to
+//!   the list heuristic; mirrors the paper's relax-and-round escape hatch;
+//! * [`DspListScheduler`] — dependency-aware list scheduling: earliest-
+//!   finish-time placement over heterogeneous nodes, ranked by upward rank
+//!   and the Eq. 12 descendant weight (the practical arm used at scale);
+//! * [`TetrisScheduler`] — multi-resource alignment packing \[7\], in the
+//!   paper's two flavours: `W/oDep` (dependency-oblivious) and `W/SimDep`
+//!   (precedents strictly before dependents);
+//! * [`AaloScheduler`] — coflow-style multi-level queues without prior
+//!   knowledge \[11\], treating a job as a coflow and its tasks as flows.
+//!
+//! Plus [`FifoScheduler`] and [`RandomScheduler`] as sanity baselines.
+
+pub mod aalo;
+pub mod api;
+pub mod dsp_ilp;
+pub mod dsp_list;
+pub mod fifo;
+pub mod pack;
+pub mod random;
+pub mod tetris;
+
+pub use aalo::AaloScheduler;
+pub use api::Scheduler;
+pub use dsp_ilp::{DspIlpScheduler, IlpLimits};
+pub use dsp_list::DspListScheduler;
+pub use fifo::FifoScheduler;
+pub use random::RandomScheduler;
+pub use tetris::{TetrisDep, TetrisScheduler};

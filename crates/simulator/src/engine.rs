@@ -1,0 +1,1021 @@
+//! The discrete-event simulation loop.
+
+use crate::policy::{NodeView, PreemptAction, PreemptPolicy, TaskSnapshot, WorldCtx};
+use crate::schedule::Schedule;
+use crate::state::{NodeRt, RtState, TaskIndex, TaskRt};
+use dsp_cluster::ClusterSpec;
+use dsp_dag::{deadline::level_deadlines, Job};
+use dsp_metrics::{JobOutcome, RunMetrics};
+use dsp_units::{Dur, Mi, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Epoch length: how often the online preemption policy runs
+    /// (Section III partitions the unit period into epochs).
+    pub epoch: Dur,
+    /// σ: the dispatch latency an evicted task pays on top of its recovery
+    /// time (the paper sets 0.05 s).
+    pub sigma: Dur,
+    /// Hard wall on simulated time; a safety net against misbehaving
+    /// schedules, not something healthy runs hit.
+    pub max_time: Time,
+    /// Queue lookahead: a node considers only the first `lookahead`
+    /// waiting tasks for dispatch (the paper's queues run in planned-start
+    /// order; a blocked head stalls the node). When the node is completely
+    /// idle, the whole queue is scanned instead, which keeps the system
+    /// deadlock-free while still charging dependency-oblivious schedules
+    /// for their head-of-line inversions. Online preemption policies can
+    /// always reach deeper into the queue — rescuing stalled nodes is
+    /// exactly their job.
+    pub lookahead: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            epoch: Dur::from_secs(1),
+            sigma: Dur::from_millis(50),
+            max_time: Time::from_secs(100 * 24 * 3600),
+            lookahead: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Inject schedule batch `i`.
+    Inject(usize),
+    /// Epoch boundary: run the preemption policy.
+    Epoch,
+    /// Task `g` finishes, provided its generation still matches.
+    Finish { g: usize, gen: u32 },
+    /// Node crashes; `permanent` migrates its work.
+    NodeDown { n: u32, permanent: bool },
+    /// Node recovers from a transient crash.
+    NodeUp { n: u32 },
+    /// Node rate multiplied by `f64::from_bits(factor_bits)`.
+    SlowDown { n: u32, factor_bits: u64 },
+}
+
+type HeapItem = Reverse<(u64, u64, Ev)>;
+
+/// The simulator. Construct, add one or more schedule batches, then
+/// [`Engine::run`] with a policy.
+pub struct Engine<'a> {
+    jobs: &'a [Job],
+    cluster: &'a ClusterSpec,
+    cfg: EngineConfig,
+    index: TaskIndex,
+    tasks: Vec<TaskRt>,
+    nodes: Vec<NodeRt>,
+    events: BinaryHeap<HeapItem>,
+    seq: u64,
+    now: Time,
+    metrics: RunMetrics,
+    batches: Vec<(Time, Schedule)>,
+    /// Unfinished-task count per job.
+    job_left: Vec<u32>,
+    /// Accumulated task waiting per job (for the Fig. 6c metric).
+    job_wait_us: Vec<u64>,
+    /// Tasks injected so far and finished so far.
+    injected: usize,
+    finished: usize,
+    pending_injections: usize,
+    /// Liveness per node (fault injection).
+    alive: Vec<bool>,
+    /// Permanently failed nodes never accept new work.
+    dead_forever: Vec<bool>,
+    /// Straggler rate multiplier per node (1.0 = healthy).
+    rate_factor: Vec<f64>,
+    fault_plan: crate::faults::FaultPlan,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine over `jobs` (indexed by `JobId`) and a cluster.
+    ///
+    /// Task deadlines are propagated through DAG levels once, using
+    /// execution-time estimates at the cluster's mean rate (Section IV-B).
+    pub fn new(jobs: &'a [Job], cluster: &'a ClusterSpec, cfg: EngineConfig) -> Self {
+        assert!(!cluster.is_empty(), "cannot simulate an empty cluster");
+        let index = TaskIndex::new(jobs);
+        let mean = cluster.mean_rate();
+        let mut tasks = Vec::with_capacity(index.total());
+        for job in jobs {
+            let exec = job.exec_estimates(mean);
+            let dls = level_deadlines(&job.dag, job.levels(), job.deadline, &exec);
+            for v in 0..job.num_tasks() as u32 {
+                tasks.push(TaskRt::new(
+                    job.task(v).size,
+                    job.dag.in_degree(v) as u32,
+                    dls[v as usize],
+                ));
+            }
+        }
+        let job_left = jobs.iter().map(|j| j.num_tasks() as u32).collect();
+        Engine {
+            jobs,
+            cluster,
+            cfg,
+            index,
+            tasks,
+            nodes: vec![NodeRt::default(); cluster.len()],
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            metrics: RunMetrics::default(),
+            batches: Vec::new(),
+            job_left,
+            job_wait_us: vec![0; jobs.len()],
+            injected: 0,
+            finished: 0,
+            pending_injections: 0,
+            alive: vec![true; cluster.len()],
+            dead_forever: vec![false; cluster.len()],
+            rate_factor: vec![1.0; cluster.len()],
+            fault_plan: crate::faults::FaultPlan::none(),
+        }
+    }
+
+    /// Register a deterministic fault schedule (crashes, stragglers).
+    pub fn add_faults(&mut self, plan: crate::faults::FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Register a schedule batch to be injected at `at` (the paper runs the
+    /// offline scheduler periodically; each period's output is one batch).
+    pub fn add_batch(&mut self, at: Time, schedule: Schedule) {
+        self.batches.push((at, schedule));
+    }
+
+    fn push_event(&mut self, at: Time, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse((at.as_micros(), self.seq, ev)));
+    }
+
+    /// Run the simulation to completion and return the collected metrics.
+    pub fn run(&mut self, policy: &mut dyn PreemptPolicy) -> RunMetrics {
+        let batches = std::mem::take(&mut self.batches);
+        self.pending_injections = batches.len();
+        let first_at = batches.iter().map(|(t, _)| *t).min();
+        for (i, (at, _)) in batches.iter().enumerate() {
+            self.push_event(*at, Ev::Inject(i));
+        }
+        if !policy.is_noop() {
+            if let Some(t0) = first_at {
+                self.push_event(t0 + self.cfg.epoch, Ev::Epoch);
+            }
+        }
+        let faults = std::mem::take(&mut self.fault_plan);
+        for f in &faults.faults {
+            match *f {
+                crate::faults::Fault::NodeDown { node, at, up_at } => {
+                    self.push_event(
+                        at,
+                        Ev::NodeDown { n: node.0, permanent: up_at.is_none() },
+                    );
+                    if let Some(up) = up_at {
+                        self.push_event(up.max(at), Ev::NodeUp { n: node.0 });
+                    }
+                }
+                crate::faults::Fault::SlowDown { node, at, factor } => {
+                    let clamped = if factor.is_finite() { factor.clamp(1e-3, 1.0) } else { 1.0 };
+                    self.push_event(
+                        at,
+                        Ev::SlowDown { n: node.0, factor_bits: clamped.to_bits() },
+                    );
+                }
+            }
+        }
+        let batches: Vec<Schedule> = batches.into_iter().map(|(_, s)| s).collect();
+
+        while let Some(Reverse((t_us, _, ev))) = self.events.pop() {
+            let t = Time::from_micros(t_us);
+            if t > self.cfg.max_time {
+                break;
+            }
+            debug_assert!(t >= self.now, "time must be monotone");
+            self.now = t;
+            match ev {
+                Ev::Inject(i) => self.handle_inject(&batches[i]),
+                Ev::Finish { g, gen } => self.handle_finish(g, gen),
+                Ev::Epoch => self.handle_epoch(policy),
+                Ev::NodeDown { n, permanent } => self.handle_node_down(n as usize, permanent),
+                Ev::NodeUp { n } => self.handle_node_up(n as usize),
+                Ev::SlowDown { n, factor_bits } => {
+                    self.handle_slowdown(n as usize, f64::from_bits(factor_bits))
+                }
+            }
+        }
+        std::mem::take(&mut self.metrics)
+    }
+
+    fn handle_inject(&mut self, schedule: &Schedule) {
+        self.pending_injections -= 1;
+        let mut touched: Vec<usize> = Vec::new();
+        // Offline batches are computed ahead of time and may target nodes
+        // that have since failed permanently; such assignments are
+        // redirected round-robin over the remaining nodes.
+        let survivors: Vec<usize> =
+            (0..self.cluster.len()).filter(|&k| !self.dead_forever[k]).collect();
+        let mut rr = 0usize;
+        for a in &schedule.assignments {
+            let g = self.index.global(a.task);
+            let target = if self.dead_forever[a.node.idx()] && !survivors.is_empty() {
+                rr += 1;
+                self.cluster.nodes[survivors[(rr - 1) % survivors.len()]].id
+            } else {
+                a.node
+            };
+            let rt = &mut self.tasks[g];
+            debug_assert_eq!(rt.state, RtState::NotArrived, "task {} injected twice", a.task);
+            rt.node = target;
+            rt.planned_start = a.start;
+            rt.state = RtState::Waiting;
+            rt.wait_since = self.now;
+            let n = self.tasks[g].node.idx();
+            self.nodes[n].queue.push(g);
+            touched.push(n);
+            self.injected += 1;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &n in &touched {
+            let tasks = &self.tasks;
+            self.nodes[n]
+                .queue
+                .sort_by_key(|&g| (tasks[g].planned_start.as_micros(), g));
+            self.fill_node(n);
+        }
+    }
+
+    fn rate_of(&self, g: usize) -> dsp_units::Mips {
+        let n = self.tasks[g].node.idx();
+        dsp_units::Mips::new(self.cluster.nodes[n].rate().get() * self.rate_factor[n])
+    }
+
+    /// Dispatch task `g` into a slot on its node. Caller must have removed
+    /// it from the queue and checked readiness.
+    fn dispatch(&mut self, g: usize) {
+        let rate = self.rate_of(g);
+        let rt = &mut self.tasks[g];
+        debug_assert_eq!(rt.state, RtState::Waiting);
+        debug_assert!(rt.ready());
+        let stint = self.now.since(rt.wait_since);
+        rt.total_wait += stint;
+        let id = self.index.id(g);
+        self.job_wait_us[id.job.idx()] += stint.as_micros();
+        rt.state = RtState::Running;
+        rt.gen += 1;
+        rt.work_start = self.now + rt.pending_overhead;
+        rt.pending_overhead = Dur::ZERO;
+        let finish_at = rt.work_start + rt.remaining.exec_time(rate);
+        let gen = rt.gen;
+        let node = rt.node.idx();
+        self.nodes[node].running.push(g);
+        self.metrics.on_task_start(self.now);
+        self.push_event(finish_at, Ev::Finish { g, gen });
+    }
+
+    /// Fill free slots on node `n` from the queue in planned-start order,
+    /// with bounded lookahead (see [`EngineConfig::lookahead`]): only the
+    /// first few waiting tasks are candidates, so a non-ready head stalls
+    /// the node the way the paper's in-order queues do. A fully idle node
+    /// falls back to scanning its whole queue — the deadlock-free escape.
+    fn fill_node(&mut self, n: usize) {
+        if !self.alive[n] {
+            return;
+        }
+        let slots = self.cluster.nodes[n].slots;
+        while self.nodes[n].running.len() < slots {
+            // Compact leading non-waiting entries lazily so the lookahead
+            // window covers real waiting tasks.
+            {
+                let tasks = &self.tasks;
+                self.nodes[n].queue.retain(|&g| tasks[g].state == RtState::Waiting);
+            }
+            let window = if self.nodes[n].running.is_empty() {
+                self.nodes[n].queue.len()
+            } else {
+                self.cfg.lookahead.max(1)
+            };
+            let pos = {
+                let tasks = &self.tasks;
+                self.nodes[n]
+                    .queue
+                    .iter()
+                    .take(window)
+                    .position(|&g| tasks[g].ready())
+            };
+            match pos {
+                Some(p) => {
+                    let g = self.nodes[n].queue.remove(p);
+                    self.dispatch(g);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn handle_finish(&mut self, g: usize, gen: u32) {
+        {
+            let rt = &self.tasks[g];
+            if rt.state != RtState::Running || rt.gen != gen {
+                return; // stale event from before a preemption
+            }
+        }
+        let id = self.index.id(g);
+        let node = self.tasks[g].node.idx();
+        {
+            let rt = &mut self.tasks[g];
+            rt.state = RtState::Done;
+            rt.remaining = Mi::ZERO;
+        }
+        self.nodes[node].running.retain(|&x| x != g);
+        self.metrics.on_task_finish(self.now);
+        self.finished += 1;
+
+        // Unblock dependents.
+        let job = &self.jobs[id.job.idx()];
+        let mut fill: Vec<usize> = vec![node];
+        for &c in job.dag.children(id.index) {
+            let cg = self.index.global(job.task_id(c));
+            let crt = &mut self.tasks[cg];
+            debug_assert!(crt.unfinished_parents > 0);
+            crt.unfinished_parents -= 1;
+            if crt.ready() && crt.state == RtState::Waiting {
+                fill.push(crt.node.idx());
+            }
+        }
+
+        // Job completion bookkeeping.
+        let jl = &mut self.job_left[id.job.idx()];
+        *jl -= 1;
+        if *jl == 0 {
+            let m = job.num_tasks().max(1) as u64;
+            self.metrics.on_job_finish(JobOutcome {
+                arrival: job.arrival,
+                finish: self.now,
+                deadline: job.deadline,
+                mean_task_wait: Dur::from_micros(self.job_wait_us[id.job.idx()] / m),
+                tasks: job.num_tasks(),
+            });
+        }
+
+        fill.sort_unstable();
+        fill.dedup();
+        for n in fill {
+            self.fill_node(n);
+        }
+    }
+
+    fn snapshot(&self, g: usize) -> TaskSnapshot {
+        let rt = &self.tasks[g];
+        let id = self.index.id(g);
+        let rate = self.rate_of(g);
+        let remaining_work = match rt.state {
+            RtState::Running => {
+                if self.now > rt.work_start {
+                    rt.remaining - Mi::done_in(rate, self.now.since(rt.work_start))
+                } else {
+                    rt.remaining
+                }
+            }
+            _ => rt.remaining,
+        };
+        let remaining_time = remaining_work.exec_time(rate);
+        let spec = self.jobs[id.job.idx()].task(id.index);
+        TaskSnapshot {
+            id,
+            remaining_work,
+            remaining_time,
+            waiting: rt.waiting_at(self.now),
+            deadline: rt.deadline,
+            allowable_wait: (rt.deadline - remaining_time).since(self.now),
+            running: rt.state == RtState::Running,
+            ready: rt.ready(),
+            demand: spec.demand,
+            size: spec.size,
+            preemptions: rt.preempt_count,
+        }
+    }
+
+    fn build_views(&self) -> Vec<NodeView> {
+        (0..self.nodes.len())
+            .map(|n| {
+                let running = self.nodes[n].running.iter().map(|&g| self.snapshot(g)).collect();
+                let waiting = self.nodes[n]
+                    .queue
+                    .iter()
+                    .filter(|&&g| self.tasks[g].state == RtState::Waiting)
+                    .map(|&g| self.snapshot(g))
+                    .collect();
+                NodeView {
+                    node: self.cluster.nodes[n].id,
+                    running,
+                    waiting,
+                    slots: self.cluster.nodes[n].slots,
+                }
+            })
+            .collect()
+    }
+
+    /// Kill the running tasks on node `n`, preserving their progress
+    /// (checkpoints live on shared storage) and charging the usual
+    /// recovery cost for the eventual resume. Returns the victims.
+    fn kill_running(&mut self, n: usize, charge_recovery: bool) -> Vec<usize> {
+        let victims: Vec<usize> = std::mem::take(&mut self.nodes[n].running);
+        for &g in &victims {
+            let rate = self.rate_of(g);
+            let id = self.index.id(g);
+            let recovery = self.jobs[id.job.idx()].task(id.index).recovery + self.cfg.sigma;
+            let rt = &mut self.tasks[g];
+            if self.now > rt.work_start {
+                rt.remaining = rt.remaining - Mi::done_in(rate, self.now.since(rt.work_start));
+            }
+            rt.state = RtState::Waiting;
+            rt.wait_since = self.now;
+            if charge_recovery {
+                rt.pending_overhead = recovery;
+            }
+            rt.gen += 1; // invalidate the in-flight finish event
+            // Re-queue in planned-start position.
+            let key = (rt.planned_start.as_micros(), g);
+            let tasks = &self.tasks;
+            let pos = self.nodes[n]
+                .queue
+                .partition_point(|&q| (tasks[q].planned_start.as_micros(), q) < key);
+            self.nodes[n].queue.insert(pos, g);
+        }
+        victims
+    }
+
+    fn handle_node_down(&mut self, n: usize, permanent: bool) {
+        if !self.alive[n] {
+            return;
+        }
+        self.alive[n] = false;
+        if permanent {
+            self.dead_forever[n] = true;
+        }
+        let victims = self.kill_running(n, true);
+        let displaced = victims.len();
+        if permanent {
+            // Migrate the whole queue (victims included) round-robin over
+            // the surviving nodes. With no survivors the tasks stay parked
+            // and the run ends at the safety wall — a fully dead cluster
+            // has no meaningful metrics anyway.
+            let survivors: Vec<usize> =
+                (0..self.cluster.len()).filter(|&k| self.alive[k]).collect();
+            if !survivors.is_empty() {
+                let orphans: Vec<usize> = std::mem::take(&mut self.nodes[n].queue);
+                let migrated = orphans.len(); // includes the killed victims
+                for (i, g) in orphans.into_iter().enumerate() {
+                    let dst = survivors[i % survivors.len()];
+                    self.tasks[g].node = self.cluster.nodes[dst].id;
+                    let key = (self.tasks[g].planned_start.as_micros(), g);
+                    let tasks = &self.tasks;
+                    let pos = self.nodes[dst]
+                        .queue
+                        .partition_point(|&q| (tasks[q].planned_start.as_micros(), q) < key);
+                    self.nodes[dst].queue.insert(pos, g);
+                }
+                self.metrics.on_node_fault(migrated.max(displaced));
+                for &dst in &survivors {
+                    self.fill_node(dst);
+                }
+                return;
+            }
+        }
+        self.metrics.on_node_fault(displaced);
+    }
+
+    fn handle_node_up(&mut self, n: usize) {
+        if self.alive[n] {
+            return;
+        }
+        self.alive[n] = true;
+        self.fill_node(n);
+    }
+
+    fn handle_slowdown(&mut self, n: usize, factor: f64) {
+        if !self.alive[n] {
+            self.rate_factor[n] = factor;
+            return;
+        }
+        // Account progress at the OLD rate first, then switch. Nothing is
+        // evicted — the machine just changed speed — so no recovery charge.
+        let displaced = {
+            let victims = self.kill_running(n, false);
+            victims.len()
+        };
+        self.rate_factor[n] = factor;
+        if displaced > 0 {
+            self.metrics.fault_rescheduled += displaced as u64;
+        }
+        self.fill_node(n);
+    }
+
+    fn handle_epoch(&mut self, policy: &mut dyn PreemptPolicy) {
+        if self.finished < self.injected || self.pending_injections > 0 {
+            // Work remains; run the policy and re-arm.
+            let actions: Vec<(usize, Vec<PreemptAction>)> = {
+                let views = self.build_views();
+                let world = WorldCtx { jobs: self.jobs, now: self.now };
+                policy.begin_epoch(self.now, &views, &world);
+                views
+                    .iter()
+                    .enumerate()
+                    .map(|(n, v)| (n, policy.decide(self.now, v, &world)))
+                    .collect()
+            };
+            let checkpointing = policy.checkpointing();
+            for (n, acts) in actions {
+                for act in acts {
+                    self.apply_action(n, act, checkpointing);
+                }
+                self.fill_node(n);
+            }
+            self.push_event(self.now + self.cfg.epoch, Ev::Epoch);
+        }
+        // When everything injected has finished and no injections are
+        // pending, dropping the epoch chain ends the simulation.
+    }
+
+    fn apply_action(&mut self, n: usize, act: PreemptAction, checkpointing: bool) {
+        let eg = self.index.global(act.evict);
+        let ag = self.index.global(act.admit);
+        // Validate the action against current state; policies act on an
+        // epoch-start snapshot, and earlier actions in the same epoch can
+        // invalidate later ones.
+        let evict_ok =
+            self.tasks[eg].state == RtState::Running && self.tasks[eg].node.idx() == n;
+        let admit_ok =
+            self.tasks[ag].state == RtState::Waiting && self.tasks[ag].node.idx() == n;
+        if !evict_ok || !admit_ok {
+            return;
+        }
+        // A task is only evictable once its current stint has produced
+        // more useful work than two context switches cost; without this,
+        // an aggressive policy can evict a freshly-(re)dispatched task
+        // every epoch and the victim's net progress goes negative — a
+        // slow-motion livelock no real scheduler exhibits (none evicts a
+        // container it *just* started).
+        {
+            let vid = self.index.id(eg);
+            let overhead =
+                self.jobs[vid.job.idx()].task(vid.index).recovery + self.cfg.sigma;
+            let min_run = self.tasks[eg].work_start + overhead * 2;
+            if self.now < min_run {
+                return;
+            }
+        }
+        let admit_ready = self.tasks[ag].ready();
+        if !admit_ready && !checkpointing {
+            // Dependency-inconsistent dispatch under restart-from-scratch
+            // semantics: refuse outright. Evicting here would erase the
+            // victim's progress, and when the unfinished precedent *is*
+            // the victim itself, the child would evict its own parent
+            // every epoch forever — a livelock, not a slowdown.
+            self.metrics.on_refusal();
+            return;
+        }
+
+        // --- Suspend the victim. ---
+        let rate = self.rate_of(eg);
+        let id = self.index.id(eg);
+        let recovery = self.jobs[id.job.idx()].task(id.index).recovery + self.cfg.sigma;
+        {
+            let rt = &mut self.tasks[eg];
+            if self.now > rt.work_start {
+                rt.remaining = rt.remaining - Mi::done_in(rate, self.now.since(rt.work_start));
+            }
+            if !checkpointing {
+                // No checkpoint mechanism: restart from scratch (SRPT).
+                rt.remaining = self.jobs[id.job.idx()].task(id.index).size;
+            }
+            rt.state = RtState::Waiting;
+            rt.wait_since = self.now;
+            rt.pending_overhead = recovery;
+            rt.preempt_count += 1;
+            rt.gen += 1; // invalidate the in-flight finish event
+        }
+        self.nodes[n].running.retain(|&x| x != eg);
+        // Re-queue at the position its planned start dictates.
+        let key = (self.tasks[eg].planned_start.as_micros(), eg);
+        let tasks = &self.tasks;
+        let pos = self.nodes[n]
+            .queue
+            .partition_point(|&g| (tasks[g].planned_start.as_micros(), g) < key);
+        self.nodes[n].queue.insert(pos, eg);
+        self.metrics.on_preemption(recovery);
+
+        // --- Dispatch the preempting task. ---
+        if !admit_ready {
+            // The policy evicted for a task whose precedents are
+            // unfinished (checkpointing policies only — see above). In the
+            // real system the launched task fails on missing inputs and
+            // the slot refills from the queue; here the eviction has been
+            // paid, the disorder is recorded, and the epoch's queue-fill
+            // pass hands the slot to the best ready task (often the victim
+            // itself, which resumes from its checkpoint).
+            self.metrics.on_disorder();
+            return;
+        }
+        if let Some(p) = self.nodes[n].queue.iter().position(|&g| g == ag) {
+            self.nodes[n].queue.remove(p);
+        }
+        self.dispatch(ag);
+    }
+
+    /// Current simulation time (for tests).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::policy::NoPreempt;
+    use dsp_cluster::{uniform, NodeId};
+    use dsp_dag::{Dag, JobClass, JobId, TaskId, TaskSpec};
+
+    /// One job, `sizes.len()` tasks with the given MI sizes and edges.
+    fn mk_jobs(sizes: &[f64], edges: &[(u32, u32)], deadline: Time) -> Vec<Job> {
+        let mut dag = Dag::new(sizes.len());
+        for &(u, v) in edges {
+            dag.add_edge(u, v).unwrap();
+        }
+        vec![Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::ZERO,
+            deadline,
+            sizes.iter().map(|&s| TaskSpec::sized(s)).collect(),
+            dag,
+        )]
+    }
+
+    fn all_to_node0(jobs: &[Job]) -> Schedule {
+        let mut s = Schedule::new();
+        for job in jobs {
+            for v in 0..job.num_tasks() as u32 {
+                s.assign(job.task_id(v), NodeId(0), Time::from_micros(v as u64));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn single_task_runs_for_exec_time() {
+        // 1000 MI at 1000 MIPS (uniform rate = 0.5·1000 + 0.5·1000) = 1 s.
+        let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(100));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.tasks_completed, 1);
+        assert_eq!(m.makespan(), Dur::from_secs(1));
+        assert_eq!(m.jobs_completed(), 1);
+        assert!(m.jobs[0].met_deadline());
+    }
+
+    #[test]
+    fn slots_serialize_execution() {
+        // Two 1 s tasks, one slot: makespan 2 s. Two slots: 1 s.
+        let jobs = mk_jobs(&[1000.0, 1000.0], &[], Time::from_secs(100));
+        for (slots, want) in [(1usize, 2u64), (2, 1)] {
+            let cluster = uniform(1, 1000.0, slots);
+            let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+            e.add_batch(Time::ZERO, all_to_node0(&jobs));
+            let m = e.run(&mut NoPreempt);
+            assert_eq!(m.makespan(), Dur::from_secs(want), "slots={slots}");
+        }
+    }
+
+    #[test]
+    fn dependencies_serialize_even_against_queue_order() {
+        // Child scheduled with an *earlier* planned start than its parent;
+        // the engine must still run the parent first (skip non-ready).
+        let jobs = mk_jobs(&[1000.0, 1000.0], &[(0, 1)], Time::from_secs(100));
+        let cluster = uniform(1, 1000.0, 2);
+        let mut s = Schedule::new();
+        s.assign(TaskId::new(0, 1), NodeId(0), Time::ZERO); // child first
+        s.assign(TaskId::new(0, 0), NodeId(0), Time::from_secs(1));
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, s);
+        let m = e.run(&mut NoPreempt);
+        // Serial despite 2 slots: 2 s, and no disorder (queue skipping is
+        // work-conserving reordering, not a dependency violation).
+        assert_eq!(m.makespan(), Dur::from_secs(2));
+        assert_eq!(m.disorders, 0);
+        assert_eq!(m.tasks_completed, 2);
+    }
+
+    #[test]
+    fn parallel_branches_use_both_nodes() {
+        // Diamond on two 1-slot nodes: 0 → {1,2} → 3, all 1 s.
+        let jobs =
+            mk_jobs(&[1000.0, 1000.0, 1000.0, 1000.0], &[(0, 1), (0, 2), (1, 3), (2, 3)], Time::from_secs(100));
+        let cluster = uniform(2, 1000.0, 1);
+        let mut s = Schedule::new();
+        s.assign(TaskId::new(0, 0), NodeId(0), Time::ZERO);
+        s.assign(TaskId::new(0, 1), NodeId(0), Time::from_secs(1));
+        s.assign(TaskId::new(0, 2), NodeId(1), Time::from_secs(1));
+        s.assign(TaskId::new(0, 3), NodeId(0), Time::from_secs(2));
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, s);
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.makespan(), Dur::from_secs(3));
+    }
+
+    #[test]
+    fn waiting_time_is_recorded() {
+        let jobs = mk_jobs(&[1000.0, 1000.0], &[], Time::from_secs(100));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        let m = e.run(&mut NoPreempt);
+        // Task 0 waits 0 s, task 1 waits 1 s → job mean 0.5 s.
+        assert_eq!(m.avg_job_waiting(), Dur::from_millis(500));
+    }
+
+    #[test]
+    fn late_batch_injection() {
+        let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(100));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::from_secs(5), all_to_node0(&jobs));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.end_time, Time::from_secs(6));
+        // Makespan window starts at first *start*, not at t=0.
+        assert_eq!(m.makespan(), Dur::from_secs(1));
+    }
+
+    /// A test policy that always preempts the running task in favour of the
+    /// first waiting task.
+    struct AlwaysPreempt {
+        checkpoint: bool,
+    }
+    impl PreemptPolicy for AlwaysPreempt {
+        fn name(&self) -> &str {
+            "always"
+        }
+        fn decide(
+            &mut self,
+            _now: Time,
+            view: &NodeView,
+            _world: &WorldCtx<'_>,
+        ) -> Vec<PreemptAction> {
+            match (view.running.first(), view.waiting.first()) {
+                (Some(r), Some(w)) => vec![PreemptAction { evict: r.id, admit: w.id }],
+                _ => vec![],
+            }
+        }
+        fn checkpointing(&self) -> bool {
+            self.checkpoint
+        }
+    }
+
+    #[test]
+    fn preemption_counts_and_overhead() {
+        // Two 10 s tasks, 1 slot, epoch 5 s (comfortably above the 1.05 s
+        // recovery cost so progress dominates churn), always-preempt:
+        // context switches accumulate, both tasks finish, and makespan
+        // exceeds the no-preemption 20 s because of the overhead.
+        let jobs = mk_jobs(&[10_000.0, 10_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(
+            &jobs,
+            &cluster,
+            EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
+        );
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        let m = e.run(&mut AlwaysPreempt { checkpoint: true });
+        assert_eq!(m.tasks_completed, 2);
+        assert!(m.preemptions >= 2, "preemptions = {}", m.preemptions);
+        assert!(m.makespan() > Dur::from_secs(20));
+        assert_eq!(m.switch_overhead, Dur::from_millis(1050) * m.preemptions);
+    }
+
+    /// Preempts exactly once, then stays quiet.
+    struct OncePreempt {
+        fired: bool,
+        checkpoint: bool,
+    }
+    impl PreemptPolicy for OncePreempt {
+        fn name(&self) -> &str {
+            "once"
+        }
+        fn decide(
+            &mut self,
+            _now: Time,
+            view: &NodeView,
+            _world: &WorldCtx<'_>,
+        ) -> Vec<PreemptAction> {
+            if self.fired {
+                return vec![];
+            }
+            match (view.running.first(), view.waiting.first()) {
+                (Some(r), Some(w)) => {
+                    self.fired = true;
+                    vec![PreemptAction { evict: r.id, admit: w.id }]
+                }
+                _ => vec![],
+            }
+        }
+        fn checkpointing(&self) -> bool {
+            self.checkpoint
+        }
+    }
+
+    #[test]
+    fn no_checkpoint_restarts_lose_more_work() {
+        // Two 10 s tasks, one slot, one preemption at the first epoch
+        // (t = 5 s, past the minimum-stint eviction guard). With
+        // checkpointing the evicted task resumes its remaining 5 s;
+        // without, it restarts all 10 s — five extra seconds of makespan.
+        let jobs = mk_jobs(&[10_000.0, 10_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(1, 1000.0, 1);
+        let run = |checkpoint: bool| {
+            let mut e = Engine::new(
+                &jobs,
+                &cluster,
+                EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
+            );
+            e.add_batch(Time::ZERO, all_to_node0(&jobs));
+            e.run(&mut OncePreempt { fired: false, checkpoint })
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with.tasks_completed, 2);
+        assert_eq!(without.tasks_completed, 2);
+        assert_eq!(with.preemptions, 1);
+        assert_eq!(
+            without.makespan().saturating_sub(with.makespan()),
+            Dur::from_secs(5),
+            "restart loses exactly the 5 s of pre-eviction progress"
+        );
+    }
+
+    /// Policy that tries to admit a dependent task over its own precedent.
+    struct Disorderly;
+    impl PreemptPolicy for Disorderly {
+        fn name(&self) -> &str {
+            "disorderly"
+        }
+        fn decide(
+            &mut self,
+            _now: Time,
+            view: &NodeView,
+            world: &WorldCtx<'_>,
+        ) -> Vec<PreemptAction> {
+            // Admit a waiting task that depends on the running task.
+            for r in &view.running {
+                for w in &view.waiting {
+                    if world.depends_on(w.id, r.id) {
+                        return vec![PreemptAction { evict: r.id, admit: w.id }];
+                    }
+                }
+            }
+            vec![]
+        }
+    }
+
+    #[test]
+    fn dependency_violating_dispatch_counts_disorder() {
+        let jobs = mk_jobs(&[5_000.0, 1_000.0], &[(0, 1)], Time::from_secs(10_000));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        let m = e.run(&mut Disorderly);
+        assert!(m.disorders > 0, "disorders = {}", m.disorders);
+        assert_eq!(m.tasks_completed, 2); // progress is still guaranteed
+    }
+
+    #[test]
+    fn heterogeneous_rates_change_exec_time() {
+        // Same task on a node twice as fast finishes twice as quickly.
+        let jobs = mk_jobs(&[2000.0], &[], Time::from_secs(100));
+        let mut cluster = uniform(2, 1000.0, 1);
+        cluster.nodes[1].s_cpu = 2000.0;
+        cluster.nodes[1].s_mem = 2000.0;
+        for (node, want_secs) in [(0u32, 2u64), (1, 1)] {
+            let mut s = Schedule::new();
+            s.assign(TaskId::new(0, 0), NodeId(node), Time::ZERO);
+            let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+            e.add_batch(Time::ZERO, s);
+            let m = e.run(&mut NoPreempt);
+            assert_eq!(m.makespan(), Dur::from_secs(want_secs), "node {node}");
+        }
+    }
+
+    #[test]
+    fn deadline_outcome_recorded() {
+        let jobs = mk_jobs(&[2000.0], &[], Time::from_millis(500));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.jobs_completed(), 1);
+        assert!(!m.jobs[0].met_deadline()); // 2 s exec vs 0.5 s deadline
+        assert_eq!(m.deadline_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn transient_crash_delays_but_completes() {
+        // One 10 s task; the node crashes at t=2 and returns at t=5. The
+        // task keeps its checkpointed 2 s of progress, pays 1.05 s of
+        // recovery when redispatched at t=5, and finishes at
+        // 5 + 1.05 + 8 = 14.05 s.
+        let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        e.add_faults(FaultPlan::none().crash(NodeId(0), Time::from_secs(2), Time::from_secs(5)));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.tasks_completed, 1);
+        assert_eq!(m.node_failures, 1);
+        assert_eq!(m.end_time, Time::from_millis(14_050));
+    }
+
+    #[test]
+    fn permanent_crash_migrates_work() {
+        // Two tasks queued on node 0; node 0 dies at t=1; both must finish
+        // on node 1.
+        let jobs = mk_jobs(&[5_000.0, 5_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(2, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        e.add_faults(FaultPlan::none().kill(NodeId(0), Time::from_secs(1)));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.tasks_completed, 2);
+        assert_eq!(m.jobs_completed(), 1);
+        assert!(m.fault_rescheduled >= 2);
+        // Serial on the single survivor: ≥ 1 (pre-crash) + 4 + 5 (+recovery).
+        assert!(m.end_time >= Time::from_secs(10));
+    }
+
+    #[test]
+    fn straggler_slows_execution_without_recovery_charge() {
+        // A 10 s task; at t=5 the node drops to half speed: 5 s done, the
+        // remaining 5 s of work now takes 10 s → finish at t=15, and no
+        // context switch is charged.
+        let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        e.add_faults(FaultPlan::none().straggle(NodeId(0), Time::from_secs(5), 0.5));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.tasks_completed, 1);
+        assert_eq!(m.end_time, Time::from_secs(15));
+        assert_eq!(m.preemptions, 0);
+        assert_eq!(m.switch_overhead, Dur::ZERO);
+    }
+
+    #[test]
+    fn recovered_straggler_returns_to_full_speed() {
+        // Half speed during [2, 6): 2 s done at full, 2 s of work-time at
+        // half speed (covers 2 s of work), back to full for the remaining
+        // 6 s → finish at t = 12.
+        let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        e.add_faults(
+            FaultPlan::none()
+                .straggle(NodeId(0), Time::from_secs(2), 0.5)
+                .straggle(NodeId(0), Time::from_secs(6), 1.0),
+        );
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.end_time, Time::from_secs(12));
+    }
+
+    #[test]
+    fn crash_during_idle_is_harmless() {
+        let jobs = mk_jobs(&[1_000.0], &[], Time::from_secs(10_000));
+        let cluster = uniform(2, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        e.add_batch(Time::ZERO, all_to_node0(&jobs));
+        // Node 1 (never used) crashes and recovers; node 0 finishes its
+        // task untouched.
+        e.add_faults(FaultPlan::none().crash(NodeId(1), Time::from_millis(100), Time::from_millis(200)));
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.tasks_completed, 1);
+        assert_eq!(m.end_time, Time::from_secs(1));
+    }
+
+    #[test]
+    fn empty_schedule_terminates() {
+        let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(1));
+        let cluster = uniform(1, 1000.0, 1);
+        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let m = e.run(&mut NoPreempt);
+        assert_eq!(m.tasks_completed, 0);
+        assert_eq!(m.makespan(), Dur::ZERO);
+    }
+}

@@ -1,0 +1,179 @@
+//! The online preemption-policy interface.
+//!
+//! Concrete policies (DSP's Algorithm 1 and the Amoeba/Natjam/SRPT
+//! baselines) live in `dsp-preempt`; the engine only knows this trait.
+
+use dsp_cluster::NodeId;
+use dsp_dag::{Job, TaskId};
+use dsp_units::{Dur, Mi, ResourceVec, Time};
+
+/// Point-in-time view of one task, as policies see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSnapshot {
+    /// The task.
+    pub id: TaskId,
+    /// Work still owed (after checkpoint accounting).
+    pub remaining_work: Mi,
+    /// `t^rem`: remaining execution time at the rate of the task's node.
+    pub remaining_time: Dur,
+    /// `t^w`: accumulated waiting time (all queue stints so far, including
+    /// the current one for waiting tasks).
+    pub waiting: Dur,
+    /// The task's level-propagated absolute deadline (Section IV-B).
+    pub deadline: Time,
+    /// `t^a = t^d − t^rem − now`: allowable waiting time from now;
+    /// saturated at zero.
+    pub allowable_wait: Dur,
+    /// True when currently occupying a slot.
+    pub running: bool,
+    /// True when every precedent task has finished — the task could
+    /// execute right now. Dependency-aware policies (DSP) only admit ready
+    /// waiters; dependency-oblivious baselines ignore this and pay in
+    /// disorders.
+    pub ready: bool,
+    /// Peak resource demand (Amoeba ranks by this).
+    pub demand: ResourceVec,
+    /// Full task size.
+    pub size: Mi,
+    /// `N^p`: preemptions suffered so far.
+    pub preemptions: u32,
+}
+
+/// One node's epoch view: the running set and the waiting queue in planned
+/// starting-time order (the paper's Fig. 4 queues).
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// The node.
+    pub node: NodeId,
+    /// Currently running tasks (≤ slots).
+    pub running: Vec<TaskSnapshot>,
+    /// Waiting tasks in ascending planned-start order.
+    pub waiting: Vec<TaskSnapshot>,
+    /// Slot count of the node.
+    pub slots: usize,
+}
+
+/// Read-only world context shared by all nodes within one epoch.
+pub struct WorldCtx<'a> {
+    /// All jobs of the run, indexed by `JobId`.
+    pub jobs: &'a [Job],
+    /// Current simulation time.
+    pub now: Time,
+}
+
+impl<'a> WorldCtx<'a> {
+    /// Does task `a` (transitively) depend on task `b`? Tasks of different
+    /// jobs never depend on each other (cross-job dependency is future work
+    /// in the paper's conclusion).
+    pub fn depends_on(&self, a: TaskId, b: TaskId) -> bool {
+        a.job == b.job && self.jobs[a.job.idx()].dag.depends_on(a.index, b.index)
+    }
+
+    /// The job owning a task.
+    pub fn job_of(&self, t: TaskId) -> &Job {
+        &self.jobs[t.job.idx()]
+    }
+}
+
+/// A single preemption decision: suspend `evict` and dispatch `admit` in
+/// its slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptAction {
+    /// Running task to suspend.
+    pub evict: TaskId,
+    /// Waiting task to dispatch.
+    pub admit: TaskId,
+}
+
+/// An online preemption policy, consulted once per node per epoch.
+pub trait PreemptPolicy {
+    /// Method name as used in the paper's figures ("DSP", "SRPT", ...).
+    fn name(&self) -> &str;
+
+    /// Called once at the start of every epoch, before any `decide`;
+    /// policies compute global state here (e.g. DSP's mean neighbouring
+    /// priority gap for the PP filter).
+    fn begin_epoch(&mut self, _now: Time, _views: &[NodeView], _world: &WorldCtx<'_>) {}
+
+    /// Decide this node's preemptions for this epoch.
+    fn decide(&mut self, now: Time, view: &NodeView, world: &WorldCtx<'_>) -> Vec<PreemptAction>;
+
+    /// True when preempted tasks resume from their most recent checkpoint;
+    /// false makes every preemption restart the victim from scratch (the
+    /// paper's SRPT has no checkpoint mechanism).
+    fn checkpointing(&self) -> bool {
+        true
+    }
+
+    /// True for the do-nothing policy: lets the engine skip epoch
+    /// snapshotting entirely (a pure-scheduling run has no online phase).
+    fn is_noop(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op policy: never preempts. Used for the scheduling-only
+/// comparisons of Fig. 5, where all methods run their offline schedule
+/// without online adjustment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoPreempt;
+
+impl PreemptPolicy for NoPreempt {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn decide(&mut self, _now: Time, _view: &NodeView, _world: &WorldCtx<'_>) -> Vec<PreemptAction> {
+        Vec::new()
+    }
+
+    fn is_noop(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_dag::{Dag, JobClass, JobId, TaskSpec};
+
+    fn two_jobs() -> Vec<Job> {
+        let mut d0 = Dag::new(2);
+        d0.add_edge(0, 1).unwrap();
+        let j0 = Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::ZERO,
+            Time::MAX,
+            vec![TaskSpec::sized(1.0), TaskSpec::sized(1.0)],
+            d0,
+        );
+        let j1 = Job::new(
+            JobId(1),
+            JobClass::Small,
+            Time::ZERO,
+            Time::MAX,
+            vec![TaskSpec::sized(1.0)],
+            Dag::new(1),
+        );
+        vec![j0, j1]
+    }
+
+    #[test]
+    fn depends_on_is_job_local() {
+        let jobs = two_jobs();
+        let w = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        assert!(w.depends_on(TaskId::new(0, 1), TaskId::new(0, 0)));
+        assert!(!w.depends_on(TaskId::new(0, 0), TaskId::new(0, 1)));
+        assert!(!w.depends_on(TaskId::new(1, 0), TaskId::new(0, 0)));
+    }
+
+    #[test]
+    fn no_preempt_never_acts() {
+        let jobs = two_jobs();
+        let w = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let view = NodeView { node: NodeId(0), running: vec![], waiting: vec![], slots: 2 };
+        assert!(NoPreempt.decide(Time::ZERO, &view, &w).is_empty());
+        assert!(NoPreempt.checkpointing());
+    }
+}

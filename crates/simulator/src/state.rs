@@ -1,0 +1,187 @@
+//! Engine-internal runtime state: per-task and per-node records plus the
+//! dense global task index.
+
+use dsp_cluster::NodeId;
+use dsp_dag::{Job, TaskId};
+use dsp_units::{Dur, Mi, Time};
+
+/// Maps `TaskId`s to dense global indices `0..total` across all jobs.
+#[derive(Debug, Clone)]
+pub struct TaskIndex {
+    offsets: Vec<usize>,
+    ids: Vec<TaskId>,
+}
+
+impl TaskIndex {
+    /// Build the index over a job list (jobs must be indexed by their
+    /// `JobId`).
+    pub fn new(jobs: &[Job]) -> Self {
+        let mut offsets = Vec::with_capacity(jobs.len());
+        let mut ids = Vec::new();
+        let mut off = 0usize;
+        for job in jobs {
+            offsets.push(off);
+            off += job.num_tasks();
+            for v in 0..job.num_tasks() as u32 {
+                ids.push(job.task_id(v));
+            }
+        }
+        TaskIndex { offsets, ids }
+    }
+
+    /// Total number of tasks.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Dense index of a task.
+    #[inline]
+    pub fn global(&self, t: TaskId) -> usize {
+        self.offsets[t.job.idx()] + t.idx()
+    }
+
+    /// Task id at a dense index.
+    #[inline]
+    pub fn id(&self, g: usize) -> TaskId {
+        self.ids[g]
+    }
+}
+
+/// Lifecycle of a task inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtState {
+    /// Not yet injected by any schedule batch.
+    NotArrived,
+    /// In a node's waiting queue.
+    Waiting,
+    /// Occupying a slot.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// Mutable runtime record of one task.
+#[derive(Debug, Clone)]
+pub struct TaskRt {
+    /// Assigned node (meaningful once injected).
+    pub node: NodeId,
+    /// Planned starting time from the offline schedule; queue order key.
+    pub planned_start: Time,
+    /// Work still owed.
+    pub remaining: Mi,
+    /// Recovery time to pay before useful work at the next dispatch
+    /// (`t^r + σ` accumulated from preemptions).
+    pub pending_overhead: Dur,
+    /// Accumulated waiting time across all queue stints.
+    pub total_wait: Dur,
+    /// Start of the current waiting stint.
+    pub wait_since: Time,
+    /// Instant useful work (after overhead) begins for the current run.
+    pub work_start: Time,
+    /// Lifecycle state.
+    pub state: RtState,
+    /// `N^p`: preemptions suffered.
+    pub preempt_count: u32,
+    /// Unfinished precedent count; the task is ready when zero.
+    pub unfinished_parents: u32,
+    /// Level-propagated absolute deadline.
+    pub deadline: Time,
+    /// Generation counter invalidating stale finish events.
+    pub gen: u32,
+}
+
+impl TaskRt {
+    /// Fresh, not-yet-arrived record.
+    pub fn new(size: Mi, unfinished_parents: u32, deadline: Time) -> Self {
+        TaskRt {
+            node: NodeId(0),
+            planned_start: Time::ZERO,
+            remaining: size,
+            pending_overhead: Dur::ZERO,
+            total_wait: Dur::ZERO,
+            wait_since: Time::ZERO,
+            work_start: Time::ZERO,
+            state: RtState::NotArrived,
+            preempt_count: 0,
+            unfinished_parents,
+            deadline,
+            gen: 0,
+        }
+    }
+
+    /// Is the task ready to execute (all precedents done)?
+    #[inline]
+    pub fn ready(&self) -> bool {
+        self.unfinished_parents == 0
+    }
+
+    /// Waiting time as of `now`, including the open stint.
+    pub fn waiting_at(&self, now: Time) -> Dur {
+        match self.state {
+            RtState::Waiting => self.total_wait + now.since(self.wait_since),
+            _ => self.total_wait,
+        }
+    }
+}
+
+/// Per-node runtime: the waiting queue (planned-start order) and running
+/// set, both as dense task indices.
+#[derive(Debug, Clone, Default)]
+pub struct NodeRt {
+    /// Waiting tasks, ascending planned start.
+    pub queue: Vec<usize>,
+    /// Running tasks (≤ slots).
+    pub running: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_dag::{Dag, JobClass, JobId, TaskSpec};
+
+    fn jobs() -> Vec<Job> {
+        (0..3u32)
+            .map(|i| {
+                Job::new(
+                    JobId(i),
+                    JobClass::Small,
+                    Time::ZERO,
+                    Time::MAX,
+                    vec![TaskSpec::sized(1.0); (i + 1) as usize],
+                    Dag::new((i + 1) as usize),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let jobs = jobs();
+        let idx = TaskIndex::new(&jobs);
+        assert_eq!(idx.total(), 6);
+        for g in 0..idx.total() {
+            assert_eq!(idx.global(idx.id(g)), g);
+        }
+        assert_eq!(idx.global(TaskId::new(2, 1)), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn waiting_accumulates_open_stint() {
+        let mut t = TaskRt::new(Mi::new(10.0), 0, Time::MAX);
+        t.state = RtState::Waiting;
+        t.wait_since = Time::from_secs(2);
+        t.total_wait = Dur::from_secs(5);
+        assert_eq!(t.waiting_at(Time::from_secs(4)), Dur::from_secs(7));
+        t.state = RtState::Running;
+        assert_eq!(t.waiting_at(Time::from_secs(4)), Dur::from_secs(5));
+    }
+
+    #[test]
+    fn readiness() {
+        let mut t = TaskRt::new(Mi::new(1.0), 2, Time::MAX);
+        assert!(!t.ready());
+        t.unfinished_parents = 0;
+        assert!(t.ready());
+    }
+}

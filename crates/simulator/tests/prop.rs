@@ -1,0 +1,143 @@
+//! Property tests for the engine: conservation, dependency safety and
+//! determinism must hold under *adversarial random preemption policies*,
+//! not just the well-behaved ones.
+
+use dsp_cluster::{uniform, NodeId};
+use dsp_dag::{generate::gen_dag, DagShape, Job, JobClass, JobId, TaskSpec};
+use dsp_sim::{
+    Engine, EngineConfig, FaultPlan, NodeView, PreemptAction, PreemptPolicy, Schedule, WorldCtx,
+};
+use dsp_units::{Dur, Time};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chaotic policy: preempts pseudo-randomly, sometimes dependency-
+/// violating, sometimes self-inconsistent. The engine must stay sound.
+struct ChaosPolicy {
+    rng: StdRng,
+    checkpoint: bool,
+}
+
+impl PreemptPolicy for ChaosPolicy {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+    fn decide(&mut self, _now: Time, view: &NodeView, _world: &WorldCtx<'_>) -> Vec<PreemptAction> {
+        let mut actions = Vec::new();
+        for r in &view.running {
+            if view.waiting.is_empty() {
+                break;
+            }
+            if self.rng.gen_bool(0.4) {
+                let w = &view.waiting[self.rng.gen_range(0..view.waiting.len())];
+                actions.push(PreemptAction { evict: r.id, admit: w.id });
+            }
+        }
+        actions
+    }
+    fn checkpointing(&self) -> bool {
+        self.checkpoint
+    }
+}
+
+fn mk_jobs(n_jobs: usize, tasks_each: usize, shape_sel: u8, seed: u64) -> Vec<Job> {
+    let shape = match shape_sel % 4 {
+        0 => DagShape::Independent,
+        1 => DagShape::Chain,
+        2 => DagShape::ForkJoin,
+        _ => DagShape::Layered { depth: 4 },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_jobs)
+        .map(|i| {
+            let dag = gen_dag(&mut rng, tasks_each, shape, 15);
+            Job::new(
+                JobId(i as u32),
+                JobClass::Small,
+                Time::ZERO,
+                Time::from_secs(100_000),
+                (0..tasks_each)
+                    .map(|_| TaskSpec::sized(rng.gen_range(500.0..5_000.0)))
+                    .collect(),
+                dag,
+            )
+        })
+        .collect()
+}
+
+fn round_robin_schedule(jobs: &[Job], nodes: usize) -> Schedule {
+    let mut s = Schedule::new();
+    let mut i = 0u64;
+    for job in jobs {
+        for v in 0..job.num_tasks() as u32 {
+            s.assign(job.task_id(v), NodeId((i % nodes as u64) as u32), Time::from_micros(i));
+            i += 1;
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Chaos preemption with checkpointing: everything still completes,
+    /// work is conserved, and runs are bit-deterministic.
+    #[test]
+    fn chaos_policy_cannot_break_the_engine(
+        n_jobs in 1usize..4,
+        tasks_each in 1usize..12,
+        shape in 0u8..4,
+        nodes in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let jobs = mk_jobs(n_jobs, tasks_each, shape, seed);
+        let cluster = uniform(nodes, 1000.0, 2);
+        let schedule = round_robin_schedule(&jobs, nodes);
+        let run = || {
+            let mut e = Engine::new(
+                &jobs,
+                &cluster,
+                EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
+            );
+            e.add_batch(Time::ZERO, schedule.clone());
+            e.run(&mut ChaosPolicy { rng: StdRng::seed_from_u64(seed ^ 0xC0FFEE), checkpoint: true })
+        };
+        let m = run();
+        prop_assert_eq!(m.tasks_completed as usize, n_jobs * tasks_each);
+        prop_assert_eq!(m.jobs_completed(), n_jobs);
+        // Overhead strictly tracks the preemption count.
+        prop_assert_eq!(m.switch_overhead, Dur::from_millis(1050) * m.preemptions);
+        // Determinism under identical seeds.
+        prop_assert_eq!(m, run());
+    }
+
+    /// Faults + chaos: random crashes and stragglers still drain the
+    /// system as long as one node survives.
+    #[test]
+    fn chaos_plus_faults_still_drain(
+        tasks_each in 1usize..10,
+        shape in 0u8..4,
+        seed in 0u64..300,
+        crash_at in 1u64..30,
+        slow_at in 1u64..30,
+    ) {
+        let jobs = mk_jobs(2, tasks_each, shape, seed);
+        let cluster = uniform(3, 1000.0, 2);
+        let schedule = round_robin_schedule(&jobs, 3);
+        let faults = FaultPlan::none()
+            .kill(NodeId(0), Time::from_secs(crash_at))
+            .straggle(NodeId(1), Time::from_secs(slow_at), 0.5)
+            .crash(NodeId(2), Time::from_secs(crash_at + 2), Time::from_secs(crash_at + 10));
+        let mut e = Engine::new(
+            &jobs,
+            &cluster,
+            EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
+        );
+        e.add_batch(Time::ZERO, schedule);
+        e.add_faults(faults);
+        let m = e.run(&mut ChaosPolicy { rng: StdRng::seed_from_u64(seed), checkpoint: true });
+        prop_assert_eq!(m.tasks_completed as usize, 2 * tasks_each);
+        prop_assert_eq!(m.jobs_completed(), 2);
+    }
+}

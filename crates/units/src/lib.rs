@@ -1,0 +1,56 @@
+//! Shared scalar units for the DSP reproduction.
+//!
+//! Everything in the simulator is timed in **integer microseconds** so that
+//! event ordering is exact and runs are bit-for-bit reproducible; floating
+//! point only appears at the edges (task sizes in millions of instructions,
+//! node rates in MIPS) and is rounded once when converted into a [`Dur`].
+//!
+//! The paper (Section III) measures task sizes in MI (millions of
+//! instructions) and node speeds in MIPS, with the execution time of task
+//! `T_ij` on node `k` given by `t_ij,k = l_ij / g(k)` (Eq. 2). [`Mi`] and
+//! [`Mips`] encode exactly that arithmetic.
+
+mod duration;
+mod rate;
+mod resources;
+mod time;
+
+pub use duration::Dur;
+pub use rate::{Mi, Mips};
+pub use resources::ResourceVec;
+pub use time::Time;
+
+/// Microseconds per second, the base conversion used throughout.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// Microseconds per millisecond.
+pub const MICROS_PER_MS: u64 = 1_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_time_matches_eq2() {
+        // A 2660 MI task on a 2660 MIPS node runs for exactly one second.
+        let l = Mi::new(2660.0);
+        let g = Mips::new(2660.0);
+        assert_eq!(l.exec_time(g), Dur::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn exec_time_scales_inversely_with_rate() {
+        let l = Mi::new(1000.0);
+        let slow = l.exec_time(Mips::new(500.0));
+        let fast = l.exec_time(Mips::new(2000.0));
+        assert_eq!(slow.as_micros(), 4 * fast.as_micros());
+    }
+
+    #[test]
+    fn time_plus_dur_roundtrip() {
+        let t = Time::from_secs_f64(1.5);
+        let d = Dur::from_millis(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).as_secs_f64(), 1.75);
+    }
+}

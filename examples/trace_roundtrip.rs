@@ -1,0 +1,43 @@
+//! Workload persistence: synthesize a trace-like job set, freeze it to
+//! JSON (the role the May-2011 Google trace plays in the paper), reload it
+//! and verify the rerun is bit-identical — the property that makes every
+//! figure in EXPERIMENTS.md reproducible.
+//!
+//! ```text
+//! cargo run --release --example trace_roundtrip
+//! ```
+
+use dsp_core::{config::Params, DspSystem};
+use dsp_trace::{generate_workload, load_jobs, save_jobs, TraceParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let trace = TraceParams { task_scale: 0.06, ..TraceParams::default() };
+    let jobs = generate_workload(&mut rng, 12, &trace);
+
+    // Freeze.
+    let path = std::env::temp_dir().join("dsp_workload.json");
+    let file = std::fs::File::create(&path).expect("create temp file");
+    save_jobs(file, &jobs).expect("serialize jobs");
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    println!("froze {} jobs ({} KiB) to {}", jobs.len(), bytes / 1024, path.display());
+
+    // Thaw and verify.
+    let loaded = load_jobs(std::fs::File::open(&path).expect("open")).expect("parse");
+    assert_eq!(loaded, jobs, "roundtrip must be lossless");
+
+    // Same jobs ⇒ same simulation, run twice.
+    let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+    let a = system.run(&jobs);
+    let b = system.run(&loaded);
+    assert_eq!(a, b, "frozen workloads reproduce bit-identical metrics");
+    println!(
+        "rerun identical: makespan {:.2} s, {} preemptions, {} tasks",
+        a.makespan().as_secs_f64(),
+        a.preemptions,
+        a.tasks_completed
+    );
+    let _ = std::fs::remove_file(&path);
+}

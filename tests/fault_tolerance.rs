@@ -1,0 +1,98 @@
+//! Integration tests for the fault-injection extension (the paper's
+//! future-work scenario): crashes and stragglers must never break job
+//! completion, dependency order, or determinism.
+
+use dsp_cluster::NodeId;
+use dsp_core::{config::Params, DspSystem};
+use dsp_preempt::{DspPolicy, SrptPolicy};
+use dsp_sched::DspListScheduler;
+use dsp_sim::FaultPlan;
+use dsp_trace::{generate_workload, TraceParams};
+use dsp_units::Time;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(n: usize, seed: u64) -> Vec<dsp_dag::Job> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_workload(&mut rng, n, &TraceParams { task_scale: 0.06, ..TraceParams::default() })
+}
+
+fn chaos() -> FaultPlan {
+    let mut plan = FaultPlan::none()
+        .kill(NodeId(2), Time::from_secs(350))
+        .crash(NodeId(5), Time::from_secs(400), Time::from_secs(700))
+        .crash(NodeId(9), Time::from_secs(500), Time::from_secs(900));
+    for n in [15u32, 16] {
+        plan = plan.straggle(NodeId(n), Time::from_secs(450), 0.3);
+    }
+    plan
+}
+
+#[test]
+fn dsp_completes_all_jobs_under_chaos() {
+    let jobs = workload(12, 1);
+    let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+    let mut sched = DspListScheduler::default();
+    let mut pol = DspPolicy::default();
+    let m = system.run_with_faults(&jobs, &mut sched, &mut pol, chaos());
+    assert_eq!(m.jobs_completed(), 12);
+    assert_eq!(m.disorders, 0, "C2 + readiness hold under faults");
+    assert!(m.node_failures >= 3);
+    assert!(m.fault_rescheduled > 0);
+}
+
+#[test]
+fn faults_never_speed_things_up() {
+    let jobs = workload(10, 2);
+    let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+    let run = |faults: FaultPlan| {
+        let mut sched = DspListScheduler::default();
+        let mut pol = DspPolicy::default();
+        system.run_with_faults(&jobs, &mut sched, &mut pol, faults)
+    };
+    let healthy = run(FaultPlan::none());
+    let faulty = run(chaos());
+    assert!(faulty.makespan() >= healthy.makespan());
+    assert_eq!(faulty.jobs_completed(), healthy.jobs_completed());
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    let jobs = workload(8, 3);
+    let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+    let run = || {
+        let mut sched = DspListScheduler::default();
+        let mut pol = DspPolicy::default();
+        system.run_with_faults(&jobs, &mut sched, &mut pol, chaos())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn restart_policy_survives_crashes() {
+    // SRPT (no checkpointing for *preemptions*) still completes under node
+    // crashes — crash recovery itself uses shared-storage checkpoints.
+    let jobs = workload(8, 4);
+    let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+    let mut sched = DspListScheduler::default();
+    let mut pol = SrptPolicy::default();
+    let m = system.run_with_faults(&jobs, &mut sched, &mut pol, chaos());
+    assert_eq!(m.jobs_completed(), 8);
+}
+
+#[test]
+fn permanent_majority_failure_still_drains() {
+    // Kill 20 of EC2's 30 nodes shortly after the first batch: everything
+    // must migrate to the survivors and finish (slowly).
+    let jobs = workload(6, 5);
+    let system = DspSystem::new(dsp_cluster::ec2(), Params::default());
+    let mut plan = FaultPlan::none();
+    for n in 0..20u32 {
+        plan = plan.kill(NodeId(n), Time::from_secs(320 + n as u64));
+    }
+    let mut sched = DspListScheduler::default();
+    let mut pol = DspPolicy::default();
+    let m = system.run_with_faults(&jobs, &mut sched, &mut pol, plan);
+    assert_eq!(m.jobs_completed(), 6);
+    assert!(m.node_failures >= 20);
+}
