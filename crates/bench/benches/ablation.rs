@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsp_bench::bench_scale;
-use dsp_core::{run_experiment, ClusterProfile, ExperimentConfig, Params, PreemptMethod, SchedMethod};
+use dsp_core::{
+    run_experiment, ClusterProfile, ExperimentConfig, Params, PreemptMethod, SchedMethod,
+};
 
 fn cfg(params: Params) -> ExperimentConfig {
     let scale = bench_scale();

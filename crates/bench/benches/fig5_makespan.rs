@@ -39,7 +39,10 @@ fn bench_fig5(c: &mut Criterion) {
         ] {
             let c2 = cfg(cluster, sched);
             g.bench_with_input(
-                BenchmarkId::new(cluster.label().replace(' ', "_"), sched.label().replace('/', "_")),
+                BenchmarkId::new(
+                    cluster.label().replace(' ', "_"),
+                    sched.label().replace('/', "_"),
+                ),
                 &c2,
                 |b, c2| b.iter(|| run_experiment(c2)),
             );

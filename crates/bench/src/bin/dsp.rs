@@ -1,23 +1,35 @@
-//! `dsp` — run one experiment from the command line.
+//! `dsp` — run one experiment, or verify serialized artifacts, from the
+//! command line.
 //!
 //! ```text
 //! dsp [--cluster ec2|palmetto] [--jobs N] [--seed S] [--scale F]
 //!     [--sched dsp|dsp-ilp|tetris|tetris-dep|aalo|fifo|random]
 //!     [--preempt dsp|dsp-wopp|amoeba|natjam|srpt|none]
 //!     [--noise SIGMA] [--kill NODE@SECS]... [--straggle NODE@SECS@FACTOR]...
+//!     [--dump-jobs FILE] [--dump-schedule FILE] [--dump-trace FILE]
 //!     [--json]
+//!
+//! dsp verify --jobs FILE --schedule FILE [--cluster ec2|palmetto]
+//!     [--trace FILE] [--dep-oblivious] [--no-deadlines] [--json]
 //! ```
 //!
-//! Prints the run's headline metrics (or the full `RunMetrics` as JSON),
-//! so downstream users can script their own sweeps without touching Rust.
+//! The run mode prints the run's headline metrics (or the full
+//! `RunMetrics` as JSON) and can serialize its artifacts: the generated
+//! jobs, the combined offline schedule, and the execution trace. The
+//! `verify` subcommand replays `dsp-verify`'s rules R1–R4 over a
+//! serialized schedule (and R5–R6 over a serialized trace) and exits 0
+//! when no rule reports an error, 1 when one does, 2 on usage errors.
 
 use dsp_core::cluster::NodeId;
-use dsp_core::trace::{generate_workload, TraceParams};
-use dsp_core::units::Time;
-use dsp_core::{ClusterProfile, DspSystem, Params, PreemptMethod, SchedMethod};
 use dsp_core::sim::FaultPlan;
+use dsp_core::trace::{generate_workload, load_jobs, save_jobs, TraceParams};
+use dsp_core::units::Time;
+use dsp_core::verify::{check_execution, check_schedule, Severity, VerifyOptions};
+use dsp_core::{ClusterProfile, DspSystem, Params, PreemptMethod, SchedMethod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 
 struct Args {
     cluster: ClusterProfile,
@@ -28,6 +40,9 @@ struct Args {
     preempt: PreemptMethod,
     noise: f64,
     faults: FaultPlan,
+    dump_jobs: Option<String>,
+    dump_schedule: Option<String>,
+    dump_trace: Option<String>,
     json: bool,
 }
 
@@ -35,12 +50,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: dsp [--cluster ec2|palmetto] [--jobs N] [--seed S] [--scale F] \
          [--sched NAME] [--preempt NAME] [--noise SIGMA] \
-         [--kill NODE@SECS]... [--straggle NODE@SECS@FACTOR]... [--json]"
+         [--kill NODE@SECS]... [--straggle NODE@SECS@FACTOR]... \
+         [--dump-jobs FILE] [--dump-schedule FILE] [--dump-trace FILE] [--json]\n\
+         \x20      dsp verify --jobs FILE --schedule FILE [--cluster ec2|palmetto] \
+         [--trace FILE] [--dep-oblivious] [--no-deadlines] [--json]"
     );
     std::process::exit(2)
 }
 
-fn parse() -> Args {
+fn parse(argv: &[String]) -> Args {
     let mut args = Args {
         cluster: ClusterProfile::Ec2,
         jobs: 45,
@@ -50,9 +68,11 @@ fn parse() -> Args {
         preempt: PreemptMethod::Dsp,
         noise: 0.4,
         faults: FaultPlan::none(),
+        dump_jobs: None,
+        dump_schedule: None,
+        dump_trace: None,
         json: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let next = |i: &mut usize| -> String {
         *i += 1;
@@ -114,6 +134,9 @@ fn parse() -> Args {
                     parts[2].parse().unwrap_or_else(|_| usage()),
                 );
             }
+            "--dump-jobs" => args.dump_jobs = Some(next(&mut i)),
+            "--dump-schedule" => args.dump_schedule = Some(next(&mut i)),
+            "--dump-trace" => args.dump_trace = Some(next(&mut i)),
             "--json" => args.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -123,8 +146,22 @@ fn parse() -> Args {
     args
 }
 
-fn main() {
-    let args = parse();
+fn writer(path: &str) -> BufWriter<File> {
+    BufWriter::new(File::create(path).unwrap_or_else(|e| {
+        eprintln!("dsp: cannot create {path}: {e}");
+        std::process::exit(2)
+    }))
+}
+
+fn reader(path: &str) -> BufReader<File> {
+    BufReader::new(File::open(path).unwrap_or_else(|e| {
+        eprintln!("dsp: cannot open {path}: {e}");
+        std::process::exit(2)
+    }))
+}
+
+fn run_main(argv: &[String]) {
+    let args = parse(argv);
     let trace = TraceParams {
         task_scale: args.scale,
         estimate_noise_sigma: args.noise,
@@ -134,11 +171,13 @@ fn main() {
     let jobs = generate_workload(&mut rng, args.jobs, &trace);
     let params = Params::default();
     let system = DspSystem::new(args.cluster.build(), params);
+    let dumping =
+        args.dump_jobs.is_some() || args.dump_schedule.is_some() || args.dump_trace.is_some();
 
-    // Build scheduler/policy through the experiment registry by running the
-    // equivalent config when no faults are requested; with faults, wire the
-    // pieces by hand (the registry has no fault hook).
-    let metrics = if args.faults.is_empty() {
+    // Plain runs go through the experiment registry; runs that inject
+    // faults or dump artifacts wire the pieces by hand (the registry
+    // exposes neither the fault hook nor the intermediate artifacts).
+    let metrics = if args.faults.is_empty() && !dumping {
         dsp_core::run_experiment(&dsp_core::ExperimentConfig {
             cluster: args.cluster,
             num_jobs: args.jobs,
@@ -154,7 +193,7 @@ fn main() {
             AaloScheduler, DspIlpScheduler, DspListScheduler, FifoScheduler, RandomScheduler,
             Scheduler, TetrisScheduler,
         };
-        use dsp_core::sim::{NoPreempt, PreemptPolicy};
+        use dsp_core::sim::{Engine, NoPreempt, PreemptPolicy, Schedule};
         let mut sched: Box<dyn Scheduler> = match args.sched {
             SchedMethod::Dsp => Box::new(DspListScheduler::default()),
             SchedMethod::DspIlp => Box::new(DspIlpScheduler::default()),
@@ -172,7 +211,30 @@ fn main() {
             PreemptMethod::Natjam => Box::new(NatjamPolicy),
             PreemptMethod::Srpt => Box::new(SrptPolicy::default()),
         };
-        system.run_with_faults(&jobs, sched.as_mut(), policy.as_mut(), args.faults)
+        let batches = dsp_core::experiment::periodic_schedules(
+            &jobs,
+            &system.cluster,
+            params.sched_period,
+            sched.as_mut(),
+        );
+        let mut engine = Engine::new(&jobs, &system.cluster, params.engine_config());
+        let mut combined = Schedule::new();
+        for (at, schedule) in batches {
+            combined.extend(schedule.clone());
+            engine.add_batch(at, schedule);
+        }
+        engine.add_faults(args.faults);
+        let metrics = engine.run(policy.as_mut());
+        if let Some(path) = &args.dump_jobs {
+            save_jobs(writer(path), &jobs).expect("serialize jobs");
+        }
+        if let Some(path) = &args.dump_schedule {
+            serde_json::to_writer(writer(path), &combined).expect("serialize schedule");
+        }
+        if let Some(path) = &args.dump_trace {
+            serde_json::to_writer(writer(path), &engine.history()).expect("serialize trace");
+        }
+        metrics
     };
 
     if args.json {
@@ -196,4 +258,82 @@ fn main() {
     println!("  disorders          {:>12}", metrics.disorders);
     println!("  deadline hit rate  {:>11.0}%", metrics.deadline_hit_rate() * 100.0);
     println!("  node failures      {:>12}", metrics.node_failures);
+}
+
+fn verify_main(argv: &[String]) {
+    let mut jobs_path: Option<String> = None;
+    let mut schedule_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut cluster = ClusterProfile::Ec2;
+    let mut opts = VerifyOptions::default();
+    let mut json = false;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--jobs" => jobs_path = Some(next(&mut i)),
+            "--schedule" => schedule_path = Some(next(&mut i)),
+            "--trace" => trace_path = Some(next(&mut i)),
+            "--cluster" => {
+                cluster = match next(&mut i).as_str() {
+                    "ec2" => ClusterProfile::Ec2,
+                    "palmetto" | "real" => ClusterProfile::Palmetto,
+                    _ => usage(),
+                }
+            }
+            "--dep-oblivious" => opts.dependency_aware = false,
+            "--no-deadlines" => opts.check_deadlines = false,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(jobs_path), Some(schedule_path)) = (jobs_path, schedule_path) else { usage() };
+
+    let jobs = load_jobs(reader(&jobs_path)).unwrap_or_else(|e| {
+        eprintln!("dsp: cannot parse jobs from {jobs_path}: {e}");
+        std::process::exit(2)
+    });
+    if let Err(e) = dsp_core::dag::validate_jobs(&jobs) {
+        eprintln!("dsp: invalid jobs in {jobs_path}: {e}");
+        std::process::exit(2)
+    }
+    let schedule: dsp_core::sim::Schedule = serde_json::from_reader(reader(&schedule_path))
+        .unwrap_or_else(|e| {
+            eprintln!("dsp: cannot parse schedule from {schedule_path}: {e}");
+            std::process::exit(2)
+        });
+    let cluster = cluster.build();
+
+    let mut report = check_schedule(&schedule, &jobs, &cluster, &opts);
+    if let Some(path) = trace_path {
+        let history: dsp_core::sim::ExecHistory = serde_json::from_reader(reader(&path))
+            .unwrap_or_else(|e| {
+                eprintln!("dsp: cannot parse trace from {path}: {e}");
+                std::process::exit(2)
+            });
+        report.merge(check_execution(&history, None));
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serialize"));
+    } else {
+        print!("{report}");
+        let errors = report.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = report.len() - errors;
+        println!("{} assignments checked: {errors} errors, {warnings} warnings", schedule.len());
+    }
+    std::process::exit(if report.passes() { 0 } else { 1 })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("verify") => verify_main(&argv[1..]),
+        _ => run_main(&argv),
+    }
 }

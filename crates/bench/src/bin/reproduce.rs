@@ -30,18 +30,16 @@ fn emit(fig: &SweepSeries, csv_dir: Option<&str>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str);
+    let csv_dir =
+        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(String::as_str);
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--") && Some(a.as_str()) != csv_dir)
         .map(String::as_str)
         .collect();
     let all = wanted.is_empty();
-    let want = |name: &str| all || wanted.iter().any(|w| name.starts_with(w) || w.starts_with(name));
+    let want =
+        |name: &str| all || wanted.iter().any(|w| name.starts_with(w) || w.starts_with(name));
 
     let scale: FigureScale = if quick { quick_scale() } else { reproduce_scale() };
     if let Some(dir) = csv_dir {

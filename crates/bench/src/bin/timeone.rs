@@ -3,18 +3,33 @@
 //! ```text
 //! cargo run -p dsp-bench --release --bin timeone -- [jobs] [task_scale] [ec2|palmetto]
 //! ```
-use dsp_core::{run_experiment, ClusterProfile, ExperimentConfig, Params, PreemptMethod, SchedMethod};
+use dsp_core::{
+    run_experiment, ClusterProfile, ExperimentConfig, Params, PreemptMethod, SchedMethod,
+};
 fn main() {
     let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(750);
     let scale: f64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(0.2);
-    let cluster = if std::env::args().nth(3).as_deref() == Some("ec2") { ClusterProfile::Ec2 } else { ClusterProfile::Palmetto };
+    let cluster = if std::env::args().nth(3).as_deref() == Some("ec2") {
+        ClusterProfile::Ec2
+    } else {
+        ClusterProfile::Palmetto
+    };
     let cfg = ExperimentConfig {
-        cluster, num_jobs: jobs, seed: 2018,
-        sched: SchedMethod::Dsp, preempt: PreemptMethod::Dsp,
+        cluster,
+        num_jobs: jobs,
+        seed: 2018,
+        sched: SchedMethod::Dsp,
+        preempt: PreemptMethod::Dsp,
         trace: dsp_core::trace::TraceParams { task_scale: scale, ..Default::default() },
         params: Params::default(),
     };
     let t = std::time::Instant::now();
     let m = run_experiment(&cfg);
-    println!("jobs {} tasks {} makespan {:.0} wall {:?}", m.jobs_completed(), m.tasks_completed, m.makespan().as_secs_f64(), t.elapsed());
+    println!(
+        "jobs {} tasks {} makespan {:.0} wall {:?}",
+        m.jobs_completed(),
+        m.tasks_completed,
+        m.makespan().as_secs_f64(),
+        t.elapsed()
+    );
 }

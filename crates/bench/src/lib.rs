@@ -7,6 +7,8 @@
 //! * `cargo bench -p dsp-bench` times the underlying experiment kernels —
 //!   one bench group per figure plus ablations and microbenchmarks.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use dsp_core::FigureScale;
 
 /// The scale Criterion benches run at: small enough for statistical

@@ -7,6 +7,8 @@
 //! bandwidth and 720 GB disk. We reproduce both as simulated node
 //! inventories; see DESIGN.md §2 for the substitution argument.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod node;
 pub mod profiles;
 

@@ -14,7 +14,9 @@
 //! * **estimate noise σ**: how offline-plan quality degrades and how much
 //!   the online phase recovers.
 
-use crate::experiment::{run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod};
+use crate::experiment::{
+    run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod,
+};
 use crate::figures::FigureScale;
 use crate::sweep::parallel_map;
 use crate::Params;
@@ -158,7 +160,10 @@ pub fn ablation_noise(scale: &FigureScale) -> Vec<SweepSeries> {
         "makespan (s)",
         sigmas.to_vec(),
     );
-    mk.push("offline only", results[..sigmas.len()].iter().map(|r| r.makespan().as_secs_f64()).collect());
+    mk.push(
+        "offline only",
+        results[..sigmas.len()].iter().map(|r| r.makespan().as_secs_f64()).collect(),
+    );
     mk.push(
         "offline + DSP preemption",
         results[sigmas.len()..].iter().map(|r| r.makespan().as_secs_f64()).collect(),
@@ -215,10 +220,7 @@ pub fn ablation_checkpoint(scale: &FigureScale) -> Vec<SweepSeries> {
         "makespan (s)",
         vec![0.0, 1.0],
     );
-    s.push(
-        "DSP",
-        vec![m_with.makespan().as_secs_f64(), m_without.makespan().as_secs_f64()],
-    );
+    s.push("DSP", vec![m_with.makespan().as_secs_f64(), m_without.makespan().as_secs_f64()]);
     vec![s]
 }
 

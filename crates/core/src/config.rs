@@ -101,7 +101,12 @@ impl Params {
 
     /// Engine configuration.
     pub fn engine_config(&self) -> EngineConfig {
-        EngineConfig { epoch: self.epoch, sigma: self.sigma, max_time: self.max_time, lookahead: self.lookahead }
+        EngineConfig {
+            epoch: self.epoch,
+            sigma: self.sigma,
+            max_time: self.max_time,
+            lookahead: self.lookahead,
+        }
     }
 }
 

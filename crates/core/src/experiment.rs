@@ -126,9 +126,11 @@ impl PreemptMethod {
             PreemptMethod::DspWoPp => Box::new(DspPolicy::new(params.dsp_params(false))),
             PreemptMethod::Amoeba => Box::new(AmoebaPolicy),
             PreemptMethod::Natjam => Box::new(NatjamPolicy),
-            PreemptMethod::Srpt => {
-                Box::new(SrptPolicy { alpha: params.alpha, beta: params.beta, ..SrptPolicy::default() })
-            }
+            PreemptMethod::Srpt => Box::new(SrptPolicy {
+                alpha: params.alpha,
+                beta: params.beta,
+                ..SrptPolicy::default()
+            }),
         }
     }
 }
@@ -193,6 +195,14 @@ pub fn periodic_schedules(
         .map(|(p, batch)| {
             let at = Time::from_micros((p + 1) * period_us);
             let schedule = scheduler.schedule_onto(&batch, cluster, at, &busy_until);
+            #[cfg(debug_assertions)]
+            {
+                let report = dsp_verify::check_coverage(&schedule, &batch, cluster);
+                debug_assert!(
+                    report.is_clean(),
+                    "scheduler broke R1 coverage for the period-{p} batch:\n{report}"
+                );
+            }
             for a in &schedule.assignments {
                 let job = batch.iter().find(|j| j.id == a.task.job).expect("own batch");
                 let est = job.task(a.task.index).est_exec_time(cluster.node(a.node).rate());

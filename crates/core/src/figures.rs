@@ -92,12 +92,8 @@ fn base_cfg(scale: &FigureScale, cluster: ClusterProfile, num_jobs: usize) -> Ex
 /// (DSP < Aalo < TetrisW/SimDep < TetrisW/oDep), on either cluster.
 /// Fig. 5(a) = `Palmetto`, Fig. 5(b) = `Ec2`.
 pub fn fig5(cluster: ClusterProfile, scale: &FigureScale) -> SweepSeries {
-    let methods = [
-        SchedMethod::Dsp,
-        SchedMethod::Aalo,
-        SchedMethod::TetrisSimDep,
-        SchedMethod::TetrisWoDep,
-    ];
+    let methods =
+        [SchedMethod::Dsp, SchedMethod::Aalo, SchedMethod::TetrisSimDep, SchedMethod::TetrisWoDep];
     let id = match cluster {
         ClusterProfile::Palmetto => "fig5a",
         ClusterProfile::Ec2 => "fig5b",
@@ -224,8 +220,8 @@ pub fn fig8(scale: &FigureScale) -> Vec<SweepSeries> {
     }
     let results = parallel_map(configs, scale.threads, run_experiment);
     for (ci, cl) in clusters.iter().enumerate() {
-        let chunk =
-            &results[ci * scale.scalability_counts.len()..(ci + 1) * scale.scalability_counts.len()];
+        let chunk = &results
+            [ci * scale.scalability_counts.len()..(ci + 1) * scale.scalability_counts.len()];
         fig_a.push(cl.label(), chunk.iter().map(|r| r.makespan().as_secs_f64()).collect());
         fig_b.push(cl.label(), chunk.iter().map(|r| r.throughput_tasks_per_ms()).collect());
     }

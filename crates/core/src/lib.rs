@@ -28,6 +28,8 @@
 //! assert_eq!(report.jobs_completed(), 6);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod ablation;
 pub mod config;
 pub mod experiment;
@@ -35,9 +37,11 @@ pub mod figures;
 pub mod sweep;
 pub mod system;
 
-pub use config::Params;
-pub use experiment::{run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod};
 pub use ablation::all_ablations;
+pub use config::Params;
+pub use experiment::{
+    run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod,
+};
 pub use figures::{fig5, fig6, fig7, fig8, FigureScale};
 pub use sweep::parallel_map;
 pub use system::DspSystem;
@@ -52,3 +56,4 @@ pub use dsp_sched as sched;
 pub use dsp_sim as sim;
 pub use dsp_trace as trace;
 pub use dsp_units as units;
+pub use dsp_verify as verify;

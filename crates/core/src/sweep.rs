@@ -44,11 +44,7 @@ where
         }
     })
     .expect("sweep worker panicked");
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    slots.into_inner().into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 #[cfg(test)]

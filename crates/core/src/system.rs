@@ -60,14 +60,19 @@ impl DspSystem {
         policy: &mut dyn PreemptPolicy,
         faults: dsp_sim::FaultPlan,
     ) -> RunMetrics {
-        let batches =
-            periodic_schedules(jobs, &self.cluster, self.params.sched_period, scheduler);
+        let batches = periodic_schedules(jobs, &self.cluster, self.params.sched_period, scheduler);
         let mut engine = Engine::new(jobs, &self.cluster, self.params.engine_config());
         for (at, schedule) in batches {
             engine.add_batch(at, schedule);
         }
         engine.add_faults(faults);
-        engine.run(policy)
+        let metrics = engine.run(policy);
+        #[cfg(debug_assertions)]
+        {
+            let report = dsp_verify::check_execution(&engine.history(), Some(&metrics));
+            debug_assert!(report.is_clean(), "execution broke R5/R6 conservation:\n{report}");
+        }
+        metrics
     }
 }
 

@@ -109,9 +109,7 @@ impl ChainSet {
 
     /// Check that every consecutive pair in every chain is a DAG edge.
     pub fn is_valid_for(&self, dag: &Dag) -> bool {
-        self.chains
-            .iter()
-            .all(|c| c.windows(2).all(|w| dag.has_edge(w[0], w[1])))
+        self.chains.iter().all(|c| c.windows(2).all(|w| dag.has_edge(w[0], w[1])))
     }
 }
 

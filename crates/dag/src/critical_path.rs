@@ -17,12 +17,8 @@ pub fn upward_ranks(dag: &Dag, exec: &[Dur]) -> Vec<Dur> {
     let order = dag.topo_order();
     let mut rank = vec![Dur::ZERO; dag.len()];
     for &v in order.iter().rev() {
-        let best_child = dag
-            .children(v)
-            .iter()
-            .map(|&c| rank[c as usize])
-            .max()
-            .unwrap_or(Dur::ZERO);
+        let best_child =
+            dag.children(v).iter().map(|&c| rank[c as usize]).max().unwrap_or(Dur::ZERO);
         rank[v as usize] = exec[v as usize] + best_child;
     }
     rank

@@ -37,9 +37,7 @@ pub fn level_deadlines(dag: &Dag, levels: &Levels, job_deadline: Time, exec: &[D
     for l in (0..num.saturating_sub(1)).rev() {
         tail[l] = tail[l + 1] + level_max[l + 1];
     }
-    (0..dag.len() as u32)
-        .map(|v| job_deadline - tail[levels.level_of(v) as usize])
-        .collect()
+    (0..dag.len() as u32).map(|v| job_deadline - tail[levels.level_of(v) as usize]).collect()
 }
 
 /// Allowable waiting time `t^a = t^d − t^rem` where `t^d` is the task's

@@ -25,7 +25,9 @@ impl std::fmt::Display for DagError {
                 write!(f, "edge {from}->{to} out of bounds for {n} tasks")
             }
             DagError::SelfLoop(v) => write!(f, "self-loop on task {v}"),
-            DagError::WouldCycle { from, to } => write!(f, "edge {from}->{to} would create a cycle"),
+            DagError::WouldCycle { from, to } => {
+                write!(f, "edge {from}->{to} would create a cycle")
+            }
         }
     }
 }
@@ -161,8 +163,7 @@ impl Dag {
     pub fn topo_order(&self) -> Vec<u32> {
         let n = self.len();
         let mut indeg: Vec<usize> = (0..n as u32).map(|v| self.in_degree(v)).collect();
-        let mut queue: VecDeque<u32> =
-            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             order.push(v);
@@ -240,10 +241,7 @@ impl Dag {
 
     /// Iterate over all edges `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.children
-            .iter()
-            .enumerate()
-            .flat_map(|(u, cs)| cs.iter().map(move |&c| (u as u32, c)))
+        self.children.iter().enumerate().flat_map(|(u, cs)| cs.iter().map(move |&c| (u as u32, c)))
     }
 }
 

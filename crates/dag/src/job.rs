@@ -115,10 +115,7 @@ impl Job {
 
     /// Iterate over `(TaskId, &TaskSpec)`.
     pub fn iter_tasks(&self) -> impl Iterator<Item = (TaskId, &TaskSpec)> {
-        self.tasks
-            .iter()
-            .enumerate()
-            .map(|(v, t)| (TaskId { job: self.id, index: v as u32 }, t))
+        self.tasks.iter().enumerate().map(|(v, t)| (TaskId { job: self.id, index: v as u32 }, t))
     }
 }
 
@@ -152,14 +149,7 @@ mod tests {
     #[should_panic(expected = "task list and DAG must agree")]
     fn mismatched_lengths_panic() {
         let dag = Dag::new(2);
-        Job::new(
-            JobId(0),
-            JobClass::Small,
-            Time::ZERO,
-            Time::MAX,
-            vec![TaskSpec::sized(1.0)],
-            dag,
-        );
+        Job::new(JobId(0), JobClass::Small, Time::ZERO, Time::MAX, vec![TaskSpec::sized(1.0)], dag);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`generate`] — random DAG generators with the paper's structural caps
 //!   (depth ≤ 5, out-degree ≤ 15 \[6\]).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod chains;
 pub mod critical_path;
 pub mod deadline;
@@ -38,4 +40,4 @@ pub use ids::{JobId, TaskId};
 pub use job::{Job, JobClass};
 pub use levels::Levels;
 pub use task::TaskSpec;
-pub use validate::{validate_job, ValidationError};
+pub use validate::{validate_job, validate_jobs, BatchError, ValidationError};

@@ -1,5 +1,6 @@
 //! Job invariant checking.
 
+use crate::ids::JobId;
 use crate::job::Job;
 use std::fmt;
 
@@ -9,9 +10,20 @@ pub enum ValidationError {
     /// `tasks.len()` and `dag.len()` disagree (only reachable through
     /// deserialized data — `Job::new` asserts it).
     LengthMismatch { tasks: usize, dag: usize },
+    /// A task's size is NaN or infinite: every duration derived from it
+    /// (Eq. 1's `l / g(k)`) would be meaningless.
+    NonFiniteSize(u32),
+    /// A task's size estimate is NaN or infinite — same hazard as
+    /// [`ValidationError::NonFiniteSize`], but for the scheduler's belief.
+    NonFiniteEstimate(u32),
+    /// A task's resource demand has a NaN or infinite component.
+    NonFiniteDemand(u32),
     /// A task has zero size: it would finish instantly and pollute
     /// remaining-time priorities with divisions by ~zero.
     ZeroSizeTask(u32),
+    /// A task's size estimate is zero: every planned finish collapses onto
+    /// its start and precedence planning (Eq. 1) degenerates.
+    ZeroEstimateTask(u32),
     /// Deadline precedes arrival.
     DeadlineBeforeArrival,
     /// A task demands no resources at all.
@@ -24,7 +36,17 @@ impl fmt::Display for ValidationError {
             ValidationError::LengthMismatch { tasks, dag } => {
                 write!(f, "{tasks} tasks but DAG over {dag}")
             }
+            ValidationError::NonFiniteSize(v) => write!(f, "task {v} has a non-finite size"),
+            ValidationError::NonFiniteEstimate(v) => {
+                write!(f, "task {v} has a non-finite size estimate")
+            }
+            ValidationError::NonFiniteDemand(v) => {
+                write!(f, "task {v} has a non-finite resource demand")
+            }
             ValidationError::ZeroSizeTask(v) => write!(f, "task {v} has zero size"),
+            ValidationError::ZeroEstimateTask(v) => {
+                write!(f, "task {v} has a zero size estimate")
+            }
             ValidationError::DeadlineBeforeArrival => write!(f, "deadline precedes arrival"),
             ValidationError::ZeroDemandTask(v) => write!(f, "task {v} demands no resources"),
         }
@@ -33,9 +55,42 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+/// A violated invariant across a batch of jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// Two jobs in the batch share an id; indexes and metrics keyed by
+    /// `JobId` would silently merge them.
+    DuplicateJobId(JobId),
+    /// One job failed [`validate_job`].
+    Job {
+        /// Position in the batch slice.
+        index: usize,
+        /// What was wrong with it.
+        error: ValidationError,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
+            BatchError::Job { index, error } => write!(f, "job at index {index}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 /// Check every job invariant the rest of the workspace relies on.
 /// Acyclicity needs no check: [`crate::graph::Dag`] rejects cycles at
-/// insertion.
+/// insertion. Deadline/arrival NaN is impossible by construction —
+/// [`dsp_units::Time`] is integer microseconds.
+///
+/// The non-finite checks run before the zero checks: NaN compares false
+/// to everything, so `size <= 0.0` alone would wave a NaN size through.
+/// For `size`/`est_size` they only guard deserialized data — `Mi::new`
+/// clamps non-finite inputs, so in-memory values are always finite — but
+/// `ResourceVec` exposes raw `f64` fields and can carry NaN anywhere.
 pub fn validate_job(job: &Job) -> Result<(), ValidationError> {
     if job.tasks.len() != job.dag.len() {
         return Err(ValidationError::LengthMismatch { tasks: job.tasks.len(), dag: job.dag.len() });
@@ -44,12 +99,39 @@ pub fn validate_job(job: &Job) -> Result<(), ValidationError> {
         return Err(ValidationError::DeadlineBeforeArrival);
     }
     for (v, t) in job.tasks.iter().enumerate() {
+        let v = v as u32;
+        if !t.size.get().is_finite() {
+            return Err(ValidationError::NonFiniteSize(v));
+        }
+        if !t.est_size.get().is_finite() {
+            return Err(ValidationError::NonFiniteEstimate(v));
+        }
+        let d = &t.demand;
+        if ![d.cpu, d.mem, d.disk, d.bw].iter().all(|c| c.is_finite()) {
+            return Err(ValidationError::NonFiniteDemand(v));
+        }
         if t.size.get() <= 0.0 {
-            return Err(ValidationError::ZeroSizeTask(v as u32));
+            return Err(ValidationError::ZeroSizeTask(v));
+        }
+        if t.est_size.get() <= 0.0 {
+            return Err(ValidationError::ZeroEstimateTask(v));
         }
         if t.demand.is_zero() {
-            return Err(ValidationError::ZeroDemandTask(v as u32));
+            return Err(ValidationError::ZeroDemandTask(v));
         }
+    }
+    Ok(())
+}
+
+/// [`validate_job`] over a whole batch, plus cross-job invariants: every
+/// `JobId` must be unique. Returns the first problem found.
+pub fn validate_jobs(jobs: &[Job]) -> Result<(), BatchError> {
+    let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+    for (index, job) in jobs.iter().enumerate() {
+        if !seen.insert(job.id) {
+            return Err(BatchError::DuplicateJobId(job.id));
+        }
+        validate_job(job).map_err(|error| BatchError::Job { index, error })?;
     }
     Ok(())
 }
@@ -87,6 +169,29 @@ mod tests {
     }
 
     #[test]
+    fn nan_size_cannot_slip_past_the_zero_check() {
+        // `Mi::new` clamps non-finite inputs to zero, so an in-memory NaN
+        // size is unrepresentable; the clamp output still fails validation.
+        let mut j = ok_job();
+        j.tasks[0].size = Mi::new(f64::NAN);
+        assert_eq!(validate_job(&j), Err(ValidationError::ZeroSizeTask(0)));
+    }
+
+    #[test]
+    fn zero_estimate_rejected() {
+        let mut j = ok_job();
+        j.tasks[0].est_size = Mi::ZERO;
+        assert_eq!(validate_job(&j), Err(ValidationError::ZeroEstimateTask(0)));
+    }
+
+    #[test]
+    fn nan_demand_component_rejected() {
+        let mut j = ok_job();
+        j.tasks[0].demand.mem = f64::NAN;
+        assert_eq!(validate_job(&j), Err(ValidationError::NonFiniteDemand(0)));
+    }
+
+    #[test]
     fn zero_demand_rejected() {
         let mut j = ok_job();
         j.tasks[0].demand = ResourceVec::ZERO;
@@ -98,5 +203,27 @@ mod tests {
         let mut j = ok_job();
         j.deadline = Time::ZERO;
         assert_eq!(validate_job(&j), Err(ValidationError::DeadlineBeforeArrival));
+    }
+
+    #[test]
+    fn batch_passes_and_catches_duplicates() {
+        let a = ok_job();
+        let mut b = ok_job();
+        b.id = JobId(1);
+        assert!(validate_jobs(&[a.clone(), b.clone()]).is_ok());
+        b.id = JobId(0);
+        assert_eq!(validate_jobs(&[a, b]), Err(BatchError::DuplicateJobId(JobId(0))));
+    }
+
+    #[test]
+    fn batch_reports_offending_index() {
+        let a = ok_job();
+        let mut b = ok_job();
+        b.id = JobId(1);
+        b.tasks[0].size = Mi::ZERO;
+        assert_eq!(
+            validate_jobs(&[a, b]),
+            Err(BatchError::Job { index: 1, error: ValidationError::ZeroSizeTask(0) })
+        );
     }
 }

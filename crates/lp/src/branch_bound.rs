@@ -54,7 +54,12 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
     // Pure LP: one relaxation solve is the answer.
     if int_vars.is_empty() {
         let s = solve_lp(p)?;
-        return Ok(MilpSolution { objective: s.objective, x: s.x, status: Status::Optimal, nodes: 1 });
+        return Ok(MilpSolution {
+            objective: s.objective,
+            x: s.x,
+            status: Status::Optimal,
+            nodes: 1,
+        });
     }
 
     // Internally treat everything as minimization of the sense-adjusted
@@ -100,11 +105,8 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
             }
         }
         // Most fractional integer variable.
-        let branch_var = int_vars
-            .iter()
-            .copied()
-            .filter(|v| !is_int(relax.x[v.0]))
-            .max_by(|a, b| {
+        let branch_var =
+            int_vars.iter().copied().filter(|v| !is_int(relax.x[v.0])).max_by(|a, b| {
                 let fa = (relax.x[a.0] - relax.x[a.0].round()).abs();
                 let fb = (relax.x[b.0] - relax.x[b.0].round()).abs();
                 fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
@@ -112,8 +114,7 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
         match branch_var {
             None => {
                 // Integral point: candidate incumbent.
-                let better =
-                    incumbent.as_ref().is_none_or(|(_, inc)| bound < *inc - opts.abs_gap);
+                let better = incumbent.as_ref().is_none_or(|(_, inc)| bound < *inc - opts.abs_gap);
                 if better {
                     // Snap integer coordinates exactly.
                     let mut x = relax.x.clone();
@@ -205,7 +206,7 @@ mod tests {
         // max 2x + y, x integer ≤ 2.5 constraint, y ≤ 1.7 continuous.
         let mut p = Problem::new(Sense::Max);
         let x = p.add_int_var("x", 0.0, f64::INFINITY, 2.0);
-        let y = p.add_var("y", 0.0, 1.7, 1.0);
+        let _y = p.add_var("y", 0.0, 1.7, 1.0);
         p.add_constraint("c", vec![(x, 1.0)], Cmp::Le, 2.5);
         let s = solve_milp(&p, MilpOptions::default()).unwrap();
         assert_close(s.objective, 2.0 * 2.0 + 1.7);
@@ -237,7 +238,8 @@ mod tests {
     fn budget_exhaustion_reports_status() {
         // A 10-item knapsack with a 1-node budget cannot finish.
         let mut p = Problem::new(Sense::Max);
-        let vars: Vec<_> = (0..10).map(|i| p.add_bin_var(format!("v{i}"), (i + 1) as f64)).collect();
+        let vars: Vec<_> =
+            (0..10).map(|i| p.add_bin_var(format!("v{i}"), (i + 1) as f64)).collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         p.add_constraint("w", terms, Cmp::Le, 9.0);
         match solve_milp(&p, MilpOptions { max_nodes: 1, abs_gap: 1e-6 }) {

@@ -14,6 +14,8 @@
 //! `dsp-sched`, exactly as Section III prescribes ("we can first relax the
 //! problem … then use integer rounding").
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod branch_bound;
 pub mod error;
 pub mod problem;

@@ -116,12 +116,7 @@ impl Problem {
 
     /// Indices of the integer variables.
     pub fn integer_vars(&self) -> Vec<VarId> {
-        self.vars
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.integer)
-            .map(|(i, _)| VarId(i))
-            .collect()
+        self.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| VarId(i)).collect()
     }
 
     /// Tighten (never widen) a variable's bounds — used by branch-and-bound.

@@ -235,8 +235,7 @@ impl Tableau {
                         None => best = Some((r, ratio)),
                         Some((br, bratio)) => {
                             if ratio < bratio - TOL
-                                || ((ratio - bratio).abs() <= TOL
-                                    && self.basis[r] < self.basis[br])
+                                || ((ratio - bratio).abs() <= TOL && self.basis[r] < self.basis[br])
                             {
                                 best = Some((r, ratio));
                             }
@@ -526,18 +525,8 @@ mod tests {
         let x5 = p.add_var("x5", 0.0, f64::INFINITY, 150.0);
         let x6 = p.add_var("x6", 0.0, f64::INFINITY, -0.02);
         let x7 = p.add_var("x7", 0.0, f64::INFINITY, 6.0);
-        p.add_constraint(
-            "r1",
-            vec![(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
-            Cmp::Le,
-            0.0,
-        );
-        p.add_constraint(
-            "r2",
-            vec![(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
-            Cmp::Le,
-            0.0,
-        );
+        p.add_constraint("r1", vec![(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)], Cmp::Le, 0.0);
+        p.add_constraint("r2", vec![(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)], Cmp::Le, 0.0);
         p.add_constraint("r3", vec![(x6, 1.0)], Cmp::Le, 1.0);
         let s = solve_lp(&p).expect("Bland's rule terminates");
         assert_close(s.objective, -0.05);

@@ -25,12 +25,7 @@ fn feasible_lp(
             (0..n).map(|i| (a_vals[(r * n + i) % a_vals.len()] % 5) as f64).collect();
         let lhs0: f64 = coeffs.iter().zip(&x0).map(|(a, x)| a * x).sum();
         let b = lhs0 + (slack[r % slack.len()].rem_euclid(4)) as f64;
-        p.add_constraint(
-            format!("c{r}"),
-            vars.iter().copied().zip(coeffs).collect(),
-            Cmp::Le,
-            b,
-        );
+        p.add_constraint(format!("c{r}"), vars.iter().copied().zip(coeffs).collect(), Cmp::Le, b);
     }
     let witness_obj = c.iter().zip(&x0).map(|(ci, xi)| ci * xi).sum();
     (p, x0, witness_obj)

@@ -157,8 +157,7 @@ impl RunMetrics {
         if self.jobs.is_empty() {
             return Dur::ZERO;
         }
-        let mut waits: Vec<u64> =
-            self.jobs.iter().map(|j| j.mean_task_wait.as_micros()).collect();
+        let mut waits: Vec<u64> = self.jobs.iter().map(|j| j.mean_task_wait.as_micros()).collect();
         waits.sort_unstable();
         let rank = ((p.clamp(0.0, 100.0) / 100.0) * waits.len() as f64).ceil() as usize;
         Dur::from_micros(waits[rank.saturating_sub(1).min(waits.len() - 1)])

@@ -10,6 +10,8 @@
 //! * **average waiting time of jobs** (Fig. 6c, 7c);
 //! * **number of preemptions** (Fig. 6d, 7d).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod collect;
 pub mod series;
 pub mod table;

@@ -64,12 +64,9 @@ impl SweepSeries {
     /// the paper's reported orderings (e.g. Fig. 5 makespans follow
     /// DSP < Aalo < TetrisW/SimDep < TetrisW/oDep).
     pub fn ordering_holds(&self, methods: &[&str]) -> bool {
-        let curves: Option<Vec<&MethodSeries>> =
-            methods.iter().map(|m| self.method(m)).collect();
+        let curves: Option<Vec<&MethodSeries>> = methods.iter().map(|m| self.method(m)).collect();
         let Some(curves) = curves else { return false };
-        (0..self.x.len()).all(|i| {
-            curves.windows(2).all(|w| w[0].values[i] < w[1].values[i])
-        })
+        (0..self.x.len()).all(|i| curves.windows(2).all(|w| w[0].values[i] < w[1].values[i]))
     }
 
     /// Like [`Self::ordering_holds`] but averaged over the sweep: the mean

@@ -52,11 +52,7 @@ pub fn render_csv(s: &SweepSeries) -> String {
 /// terminal without leaving the `reproduce` output.
 pub fn render_ascii(s: &SweepSeries, width: usize) -> String {
     let width = width.clamp(8, 120);
-    let max = s
-        .series
-        .iter()
-        .flat_map(|m| m.values.iter().copied())
-        .fold(0.0f64, f64::max);
+    let max = s.series.iter().flat_map(|m| m.values.iter().copied()).fold(0.0f64, f64::max);
     let mut out = String::new();
     let _ = writeln!(out, "{} — {} (bar max = {:.4})", s.id, s.y_label, max);
     let name_w = s.series.iter().map(|m| m.method.len()).max().unwrap_or(4).max(4);
@@ -64,11 +60,7 @@ pub fn render_ascii(s: &SweepSeries, width: usize) -> String {
         let _ = writeln!(out, "{}={}", s.x_label, x);
         for m in &s.series {
             let v = m.values[i];
-            let bar = if max > 0.0 {
-                ((v / max) * width as f64).round() as usize
-            } else {
-                0
-            };
+            let bar = if max > 0.0 { ((v / max) * width as f64).round() as usize } else { 0 };
             let _ = writeln!(
                 out,
                 "  {:<name_w$} |{:<width$}| {:.4}",

@@ -100,12 +100,18 @@ mod tests {
         let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
         let view = NodeView {
             node: NodeId(0),
-            running: vec![snap(TaskId::new(0, 0), true, 5_000), snap(TaskId::new(0, 1), true, 50_000)],
+            running: vec![
+                snap(TaskId::new(0, 0), true, 5_000),
+                snap(TaskId::new(0, 1), true, 50_000),
+            ],
             waiting: vec![snap(TaskId::new(0, 2), false, 1_000)],
             slots: 2,
         };
         let acts = AmoebaPolicy.decide(Time::ZERO, &view, &world);
-        assert_eq!(acts, vec![PreemptAction { evict: TaskId::new(0, 1), admit: TaskId::new(0, 2) }]);
+        assert_eq!(
+            acts,
+            vec![PreemptAction { evict: TaskId::new(0, 1), admit: TaskId::new(0, 2) }]
+        );
     }
 
     #[test]
@@ -127,8 +133,14 @@ mod tests {
         let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
         let view = NodeView {
             node: NodeId(0),
-            running: vec![snap(TaskId::new(0, 0), true, 40_000), snap(TaskId::new(0, 1), true, 50_000)],
-            waiting: vec![snap(TaskId::new(0, 2), false, 1_000), snap(TaskId::new(0, 3), false, 2_000)],
+            running: vec![
+                snap(TaskId::new(0, 0), true, 40_000),
+                snap(TaskId::new(0, 1), true, 50_000),
+            ],
+            waiting: vec![
+                snap(TaskId::new(0, 2), false, 1_000),
+                snap(TaskId::new(0, 3), false, 2_000),
+            ],
             slots: 2,
         };
         let acts = AmoebaPolicy.decide(Time::ZERO, &view, &world);

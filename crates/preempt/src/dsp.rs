@@ -136,15 +136,10 @@ impl PreemptPolicy for DspPolicy {
         }
         // Preemptable running tasks, ascending priority (Algorithm 1 line
         // 2), with deadline protection.
-        let mut preemptable: Vec<&TaskSnapshot> = view
-            .running
-            .iter()
-            .filter(|r| r.allowable_wait > self.params.epoch)
-            .collect();
+        let mut preemptable: Vec<&TaskSnapshot> =
+            view.running.iter().filter(|r| r.allowable_wait > self.params.epoch).collect();
         preemptable.sort_by(|a, b| {
-            self.priority(a)
-                .partial_cmp(&self.priority(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.priority(a).partial_cmp(&self.priority(b)).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut admitted: Vec<bool> = vec![false; view.waiting.len()];
 
@@ -170,10 +165,7 @@ impl PreemptPolicy for DspPolicy {
                 // DSP's disorder count at zero (Fig. 6a).
                 continue;
             }
-            if let Some(pos) = preemptable
-                .iter()
-                .position(|r| !world.depends_on(w.id, r.id))
-            {
+            if let Some(pos) = preemptable.iter().position(|r| !world.depends_on(w.id, r.id)) {
                 let victim = preemptable.remove(pos);
                 actions.push(PreemptAction { evict: victim.id, admit: w.id });
                 admitted[i] = true;
@@ -403,7 +395,11 @@ mod tests {
             waiting,
             slots: 1,
         };
-        let mut p = DspPolicy::new(DspParams { delta: 0.1, tau: Dur::from_secs(999), ..DspParams::default() });
+        let mut p = DspPolicy::new(DspParams {
+            delta: 0.1,
+            tau: Dur::from_secs(999),
+            ..DspParams::default()
+        });
         let acts = run_epoch(&mut p, view, &jobs);
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].admit, TaskId::new(0, 1));

@@ -18,6 +18,8 @@
 //! None of the baselines checks dependencies when preempting — that is
 //! precisely the gap the paper measures as "disorders" in Fig. 6(a)/7(a).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod amoeba;
 pub mod dsp;
 pub mod natjam;

@@ -37,11 +37,8 @@ impl PreemptPolicy for NatjamPolicy {
         }
         // Victims: running *research* tasks, ordered by Natjam's eviction
         // key — most resources, then max deadline, then shortest remaining.
-        let mut victims: Vec<&TaskSnapshot> = view
-            .running
-            .iter()
-            .filter(|r| !is_production(world, r))
-            .collect();
+        let mut victims: Vec<&TaskSnapshot> =
+            view.running.iter().filter(|r| !is_production(world, r)).collect();
         victims.sort_by(|a, b| {
             b.demand
                 .l1()
@@ -53,9 +50,8 @@ impl PreemptPolicy for NatjamPolicy {
         // Every waiting production task may evict one research task (whole
         // queue considered; no dependency check — Natjam predates DAG
         // awareness).
-        for (victim, w) in victims
-            .iter()
-            .zip(view.waiting.iter().filter(|w| is_production(world, w)))
+        for (victim, w) in
+            victims.iter().zip(view.waiting.iter().filter(|w| is_production(world, w)))
         {
             actions.push(PreemptAction { evict: victim.id, admit: w.id });
         }

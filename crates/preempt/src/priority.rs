@@ -63,10 +63,7 @@ impl PriorityMap {
     }
 
     fn insert(&mut self, t: TaskId, n_tasks: usize, p: f64) {
-        let v = self
-            .per_job
-            .entry(t.job.get())
-            .or_insert_with(|| vec![f64::NAN; n_tasks]);
+        let v = self.per_job.entry(t.job.get()).or_insert_with(|| vec![f64::NAN; n_tasks]);
         if v[t.idx()].is_nan() {
             self.len += 1;
         }
@@ -120,9 +117,7 @@ pub fn compute_priorities(
     for view in views {
         for s in view.running.iter().chain(view.waiting.iter()) {
             let job = &world.jobs[s.id.job.idx()];
-            snaps
-                .entry(s.id.job.get())
-                .or_insert_with(|| vec![None; job.num_tasks()])
+            snaps.entry(s.id.job.get()).or_insert_with(|| vec![None; job.num_tasks()])
                 [s.id.idx()] = Some(*s);
         }
     }

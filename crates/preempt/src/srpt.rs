@@ -183,6 +183,9 @@ mod tests {
             slots: 2,
         };
         let acts = SrptPolicy::default().decide(Time::ZERO, &view, &world);
-        assert_eq!(acts, vec![PreemptAction { evict: TaskId::new(0, 1), admit: TaskId::new(0, 2) }]);
+        assert_eq!(
+            acts,
+            vec![PreemptAction { evict: TaskId::new(0, 1), admit: TaskId::new(0, 2) }]
+        );
     }
 }

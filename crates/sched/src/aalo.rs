@@ -137,20 +137,10 @@ mod tests {
         let jobs = vec![heavy, light];
         let cluster = uniform(1, 1000.0, 1);
         let s = AaloScheduler::default().schedule(&jobs, &cluster, Time::ZERO);
-        let light_last = s
-            .assignments
-            .iter()
-            .filter(|a| a.task.job == JobId(1))
-            .map(|a| a.start)
-            .max()
-            .unwrap();
-        let heavy_last = s
-            .assignments
-            .iter()
-            .filter(|a| a.task.job == JobId(0))
-            .map(|a| a.start)
-            .max()
-            .unwrap();
+        let light_last =
+            s.assignments.iter().filter(|a| a.task.job == JobId(1)).map(|a| a.start).max().unwrap();
+        let heavy_last =
+            s.assignments.iter().filter(|a| a.task.job == JobId(0)).map(|a| a.start).max().unwrap();
         assert!(
             light_last + Dur::from_secs(1) < heavy_last,
             "light {light_last} should finish queueing well before heavy {heavy_last}"

@@ -38,28 +38,12 @@ pub trait Scheduler {
 
 /// Every task of every job appears exactly once and lands on a real node —
 /// the invariant each scheduler must uphold; exposed for tests.
+///
+/// Thin boolean wrapper over `dsp-verify`'s R1 coverage rule
+/// ([`dsp_verify::check_coverage`]), which is the single source of truth
+/// and reports *which* assignment is wrong when this returns `false`.
 pub fn schedule_covers_jobs(s: &Schedule, jobs: &[Job], cluster: &ClusterSpec) -> bool {
-    let total: usize = jobs.iter().map(|j| j.num_tasks()).sum();
-    if s.len() != total {
-        return false;
-    }
-    let mut seen = std::collections::HashSet::with_capacity(total);
-    for a in &s.assignments {
-        if a.node.idx() >= cluster.len() {
-            return false;
-        }
-        let job = match jobs.iter().find(|j| j.id == a.task.job) {
-            Some(j) => j,
-            None => return false,
-        };
-        if a.task.idx() >= job.num_tasks() {
-            return false;
-        }
-        if !seen.insert(a.task) {
-            return false;
-        }
-    }
-    true
+    dsp_verify::check_coverage(s, jobs, cluster).is_clean()
 }
 
 #[cfg(test)]

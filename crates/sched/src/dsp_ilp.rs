@@ -99,7 +99,13 @@ impl DspIlpScheduler {
         }
     }
 
-    fn fallback(&self, jobs: &[Job], cluster: &ClusterSpec, at: Time, node_avail: &[Time]) -> Schedule {
+    fn fallback(
+        &self,
+        jobs: &[Job],
+        cluster: &ClusterSpec,
+        at: Time,
+        node_avail: &[Time],
+    ) -> Schedule {
         DspListScheduler::default().schedule_onto(jobs, cluster, at, node_avail)
     }
 
@@ -148,12 +154,9 @@ impl DspIlpScheduler {
         }
         let n = tasks.len();
         // Big-M: worst-case serial completion.
-        let big_m: f64 = tasks
-            .iter()
-            .map(|t| t.exec.iter().cloned().fold(0.0, f64::max))
-            .sum::<f64>()
-            .max(1.0)
-            * 2.0;
+        let big_m: f64 =
+            tasks.iter().map(|t| t.exec.iter().cloned().fold(0.0, f64::max)).sum::<f64>().max(1.0)
+                * 2.0;
 
         let mut p = Problem::new(Sense::Min);
         let makespan = p.add_var("L", 0.0, f64::INFINITY, 1.0);
@@ -191,10 +194,7 @@ impl DspIlpScheduler {
             .iter()
             .map(|nid| {
                 // A virtual slot shares its physical node's drain estimate.
-                node_avail
-                    .get(nid.idx())
-                    .map(|t| t.since(at).as_secs_f64())
-                    .unwrap_or(0.0)
+                node_avail.get(nid.idx()).map(|t| t.since(at).as_secs_f64()).unwrap_or(0.0)
             })
             .collect();
         if rel.iter().any(|&r| r > 0.0) {
@@ -213,7 +213,9 @@ impl DspIlpScheduler {
                     .position(|t| t.job == tu.job && t.v == c)
                     .expect("child flattened");
                 let mut terms = vec![(starts[v_idx], 1.0), (starts[u_idx], -1.0)];
-                terms.extend(x[u_idx].iter().enumerate().map(|(k, &xv)| (xv, -tasks[u_idx].exec[k])));
+                terms.extend(
+                    x[u_idx].iter().enumerate().map(|(k, &xv)| (xv, -tasks[u_idx].exec[k])),
+                );
                 p.add_constraint(format!("prec{u_idx}_{v_idx}"), terms, Cmp::Ge, 0.0);
             }
         }
@@ -222,6 +224,9 @@ impl DspIlpScheduler {
         for u in 0..n {
             for v in (u + 1)..n {
                 let y = p.add_bin_var(format!("y{u}_{v}"), 0.0);
+                // `k` indexes four parallel arrays; an iterator form would
+                // obscure the constraint algebra.
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..k_count {
                     // u before v when y=1, both on slot k:
                     // s_u + e_u ≤ s_v + M(1−y) + M(1−x_u) + M(1−x_v)
@@ -254,8 +259,9 @@ impl DspIlpScheduler {
             }
         }
 
-        let sol = solve_milp(&p, MilpOptions { max_nodes: self.limits.max_bb_nodes, abs_gap: 1e-6 })
-            .ok()?;
+        let sol =
+            solve_milp(&p, MilpOptions { max_nodes: self.limits.max_bb_nodes, abs_gap: 1e-6 })
+                .ok()?;
         let outcome = match sol.status {
             Status::Optimal => IlpOutcome::Exact,
             _ => IlpOutcome::Incumbent,
@@ -263,9 +269,7 @@ impl DspIlpScheduler {
         let mut schedule = Schedule::new();
         for (t, task) in tasks.iter().enumerate() {
             let k = (0..k_count)
-                .max_by(|&a, &b| {
-                    sol.x[x[t][a].0].partial_cmp(&sol.x[x[t][b].0]).unwrap()
-                })
+                .max_by(|&a, &b| sol.x[x[t][a].0].total_cmp(&sol.x[x[t][b].0]))
                 .expect("k_count ≥ 1");
             let start = at + dsp_units::Dur::from_secs_f64(sol.x[starts[t].0]);
             schedule.assign(jobs[task.job].task_id(task.v), vnodes[k], start);

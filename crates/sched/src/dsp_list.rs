@@ -183,8 +183,7 @@ mod tests {
         let s = DspListScheduler::default().schedule(&jobs, &cluster, Time::ZERO);
         // All four start immediately on distinct nodes.
         assert!(s.assignments.iter().all(|a| a.start == Time::ZERO));
-        let nodes: std::collections::HashSet<_> =
-            s.assignments.iter().map(|a| a.node).collect();
+        let nodes: std::collections::HashSet<_> = s.assignments.iter().map(|a| a.node).collect();
         assert_eq!(nodes.len(), 4);
     }
 

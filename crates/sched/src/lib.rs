@@ -18,6 +18,8 @@
 //!
 //! Plus [`FifoScheduler`] and [`RandomScheduler`] as sanity baselines.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod aalo;
 pub mod api;
 pub mod dsp_ilp;

@@ -57,10 +57,7 @@ impl PackState<'_> {
     /// (O(total); used only by the defensive force-place path and tests).
     pub fn unscheduled(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
         self.scheduled.iter().enumerate().flat_map(|(j, row)| {
-            row.iter()
-                .enumerate()
-                .filter(|&(_, &s)| !s)
-                .map(move |(v, _)| (j, v as u32))
+            row.iter().enumerate().filter(|&(_, &s)| !s).map(move |(v, _)| (j, v as u32))
         })
     }
 }
@@ -318,12 +315,8 @@ mod tests {
         });
         assert!(schedule_covers_jobs(&s, &jobs, &cluster));
         // Chain starts are strictly increasing within each job.
-        let mut starts: Vec<Time> = s
-            .assignments
-            .iter()
-            .filter(|a| a.task.job == JobId(0))
-            .map(|a| a.start)
-            .collect();
+        let mut starts: Vec<Time> =
+            s.assignments.iter().filter(|a| a.task.job == JobId(0)).map(|a| a.start).collect();
         starts.sort();
         assert!(starts.windows(2).all(|w| w[0] < w[1]));
     }

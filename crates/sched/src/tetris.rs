@@ -126,8 +126,7 @@ impl Scheduler for TetrisScheduler {
                         .iter()
                         .enumerate()
                         .flat_map(|(n, node)| {
-                            let free =
-                                node_avail.get(n).copied().unwrap_or(at).max(at).as_micros();
+                            let free = node_avail.get(n).copied().unwrap_or(at).max(at).as_micros();
                             (0..node.slots).map(move |_| std::cmp::Reverse((free, n)))
                         })
                         .collect();

@@ -172,20 +172,14 @@ impl<'a> Engine<'a> {
         for f in &faults.faults {
             match *f {
                 crate::faults::Fault::NodeDown { node, at, up_at } => {
-                    self.push_event(
-                        at,
-                        Ev::NodeDown { n: node.0, permanent: up_at.is_none() },
-                    );
+                    self.push_event(at, Ev::NodeDown { n: node.0, permanent: up_at.is_none() });
                     if let Some(up) = up_at {
                         self.push_event(up.max(at), Ev::NodeUp { n: node.0 });
                     }
                 }
                 crate::faults::Fault::SlowDown { node, at, factor } => {
                     let clamped = if factor.is_finite() { factor.clamp(1e-3, 1.0) } else { 1.0 };
-                    self.push_event(
-                        at,
-                        Ev::SlowDown { n: node.0, factor_bits: clamped.to_bits() },
-                    );
+                    self.push_event(at, Ev::SlowDown { n: node.0, factor_bits: clamped.to_bits() });
                 }
             }
         }
@@ -209,7 +203,78 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        self.debug_validate();
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Execution accounting for every injected task, for post-run auditing
+    /// (the `dsp-verify` crate checks the paper's overhead and
+    /// work-conservation identities against this). Call after
+    /// [`Engine::run`]; the engine retains its runtime state.
+    pub fn history(&self) -> crate::history::ExecHistory {
+        let tasks = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| rt.state != RtState::NotArrived)
+            .map(|(g, rt)| {
+                let id = self.index.id(g);
+                let spec = self.jobs[id.job.idx()].task(id.index);
+                crate::history::TaskHistory {
+                    task: id,
+                    node: rt.node,
+                    planned_start: rt.planned_start,
+                    finish: rt.finish,
+                    completed: rt.state == RtState::Done,
+                    preemptions: rt.preempt_count,
+                    recovery_charges: rt.recovery_charges,
+                    overhead_paid: rt.overhead_paid,
+                    executed: rt.executed,
+                    lost: rt.lost,
+                    size: spec.size,
+                    recovery: spec.recovery,
+                }
+            })
+            .collect();
+        crate::history::ExecHistory { sigma: self.cfg.sigma, tasks }
+    }
+
+    /// Cheap internal consistency audit run at the end of every debug-mode
+    /// simulation: per completed task, paid recovery overhead must equal
+    /// `charges × (t^r + σ)` and retained work (`executed − lost`) must
+    /// equal the task size; globally, the metrics' switch overhead must be
+    /// the sum of per-preemption charges. The full rule-based audit lives
+    /// in `dsp-verify` (which sits above this crate); this is the engine's
+    /// own last line of defence.
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self) {
+        let mut policy_overhead = Dur::ZERO;
+        for (g, rt) in self.tasks.iter().enumerate() {
+            let id = self.index.id(g);
+            let spec = self.jobs[id.job.idx()].task(id.index);
+            let per_charge = spec.recovery + self.cfg.sigma;
+            policy_overhead += per_charge * rt.preempt_count as u64;
+            if rt.state != RtState::Done {
+                continue;
+            }
+            debug_assert_eq!(
+                rt.overhead_paid,
+                per_charge * rt.recovery_charges as u64,
+                "task {id}: paid overhead diverges from {} charges of {per_charge}",
+                rt.recovery_charges,
+            );
+            let retained = rt.executed.get() - rt.lost.get();
+            let size = spec.size.get();
+            debug_assert!(
+                (retained - size).abs() <= size.max(1.0) * 1e-6,
+                "task {id}: retained work {retained} MI != size {size} MI",
+            );
+        }
+        debug_assert_eq!(
+            self.metrics.switch_overhead, policy_overhead,
+            "metrics switch_overhead diverges from per-task preemption charges",
+        );
     }
 
     fn handle_inject(&mut self, schedule: &Schedule) {
@@ -244,9 +309,7 @@ impl<'a> Engine<'a> {
         touched.dedup();
         for &n in &touched {
             let tasks = &self.tasks;
-            self.nodes[n]
-                .queue
-                .sort_by_key(|&g| (tasks[g].planned_start.as_micros(), g));
+            self.nodes[n].queue.sort_by_key(|&g| (tasks[g].planned_start.as_micros(), g));
             self.fill_node(n);
         }
     }
@@ -270,6 +333,7 @@ impl<'a> Engine<'a> {
         rt.state = RtState::Running;
         rt.gen += 1;
         rt.work_start = self.now + rt.pending_overhead;
+        rt.overhead_paid += rt.pending_overhead;
         rt.pending_overhead = Dur::ZERO;
         let finish_at = rt.work_start + rt.remaining.exec_time(rate);
         let gen = rt.gen;
@@ -303,11 +367,7 @@ impl<'a> Engine<'a> {
             };
             let pos = {
                 let tasks = &self.tasks;
-                self.nodes[n]
-                    .queue
-                    .iter()
-                    .take(window)
-                    .position(|&g| tasks[g].ready())
+                self.nodes[n].queue.iter().take(window).position(|&g| tasks[g].ready())
             };
             match pos {
                 Some(p) => {
@@ -331,6 +391,8 @@ impl<'a> Engine<'a> {
         {
             let rt = &mut self.tasks[g];
             rt.state = RtState::Done;
+            rt.executed += rt.remaining; // the final stint ran to the end
+            rt.finish = self.now;
             rt.remaining = Mi::ZERO;
         }
         self.nodes[node].running.retain(|&x| x != g);
@@ -432,16 +494,15 @@ impl<'a> Engine<'a> {
             let id = self.index.id(g);
             let recovery = self.jobs[id.job.idx()].task(id.index).recovery + self.cfg.sigma;
             let rt = &mut self.tasks[g];
-            if self.now > rt.work_start {
-                rt.remaining = rt.remaining - Mi::done_in(rate, self.now.since(rt.work_start));
-            }
+            rt.account_progress(rate, self.now);
             rt.state = RtState::Waiting;
             rt.wait_since = self.now;
             if charge_recovery {
                 rt.pending_overhead = recovery;
+                rt.recovery_charges += 1;
             }
             rt.gen += 1; // invalidate the in-flight finish event
-            // Re-queue in planned-start position.
+                         // Re-queue in planned-start position.
             let key = (rt.planned_start.as_micros(), g);
             let tasks = &self.tasks;
             let pos = self.nodes[n]
@@ -550,10 +611,8 @@ impl<'a> Engine<'a> {
         // Validate the action against current state; policies act on an
         // epoch-start snapshot, and earlier actions in the same epoch can
         // invalidate later ones.
-        let evict_ok =
-            self.tasks[eg].state == RtState::Running && self.tasks[eg].node.idx() == n;
-        let admit_ok =
-            self.tasks[ag].state == RtState::Waiting && self.tasks[ag].node.idx() == n;
+        let evict_ok = self.tasks[eg].state == RtState::Running && self.tasks[eg].node.idx() == n;
+        let admit_ok = self.tasks[ag].state == RtState::Waiting && self.tasks[ag].node.idx() == n;
         if !evict_ok || !admit_ok {
             return;
         }
@@ -565,8 +624,7 @@ impl<'a> Engine<'a> {
         // container it *just* started).
         {
             let vid = self.index.id(eg);
-            let overhead =
-                self.jobs[vid.job.idx()].task(vid.index).recovery + self.cfg.sigma;
+            let overhead = self.jobs[vid.job.idx()].task(vid.index).recovery + self.cfg.sigma;
             let min_run = self.tasks[eg].work_start + overhead * 2;
             if self.now < min_run {
                 return;
@@ -589,26 +647,28 @@ impl<'a> Engine<'a> {
         let recovery = self.jobs[id.job.idx()].task(id.index).recovery + self.cfg.sigma;
         {
             let rt = &mut self.tasks[eg];
-            if self.now > rt.work_start {
-                rt.remaining = rt.remaining - Mi::done_in(rate, self.now.since(rt.work_start));
-            }
+            rt.account_progress(rate, self.now);
             if !checkpointing {
                 // No checkpoint mechanism: restart from scratch (SRPT).
-                rt.remaining = self.jobs[id.job.idx()].task(id.index).size;
+                // All retained progress (this stint's and any earlier
+                // checkpointed remainder) is discarded.
+                let size = self.jobs[id.job.idx()].task(id.index).size;
+                rt.lost += size - rt.remaining;
+                rt.remaining = size;
             }
             rt.state = RtState::Waiting;
             rt.wait_since = self.now;
             rt.pending_overhead = recovery;
             rt.preempt_count += 1;
+            rt.recovery_charges += 1;
             rt.gen += 1; // invalidate the in-flight finish event
         }
         self.nodes[n].running.retain(|&x| x != eg);
         // Re-queue at the position its planned start dictates.
         let key = (self.tasks[eg].planned_start.as_micros(), eg);
         let tasks = &self.tasks;
-        let pos = self.nodes[n]
-            .queue
-            .partition_point(|&g| (tasks[g].planned_start.as_micros(), g) < key);
+        let pos =
+            self.nodes[n].queue.partition_point(|&g| (tasks[g].planned_start.as_micros(), g) < key);
         self.nodes[n].queue.insert(pos, eg);
         self.metrics.on_preemption(recovery);
 
@@ -719,8 +779,11 @@ mod tests {
     #[test]
     fn parallel_branches_use_both_nodes() {
         // Diamond on two 1-slot nodes: 0 → {1,2} → 3, all 1 s.
-        let jobs =
-            mk_jobs(&[1000.0, 1000.0, 1000.0, 1000.0], &[(0, 1), (0, 2), (1, 3), (2, 3)], Time::from_secs(100));
+        let jobs = mk_jobs(
+            &[1000.0, 1000.0, 1000.0, 1000.0],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            Time::from_secs(100),
+        );
         let cluster = uniform(2, 1000.0, 1);
         let mut s = Schedule::new();
         s.assign(TaskId::new(0, 0), NodeId(0), Time::ZERO);
@@ -986,11 +1049,11 @@ mod tests {
         let cluster = uniform(1, 1000.0, 1);
         let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
-        e.add_faults(
-            FaultPlan::none()
-                .straggle(NodeId(0), Time::from_secs(2), 0.5)
-                .straggle(NodeId(0), Time::from_secs(6), 1.0),
-        );
+        e.add_faults(FaultPlan::none().straggle(NodeId(0), Time::from_secs(2), 0.5).straggle(
+            NodeId(0),
+            Time::from_secs(6),
+            1.0,
+        ));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.end_time, Time::from_secs(12));
     }
@@ -1003,7 +1066,11 @@ mod tests {
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         // Node 1 (never used) crashes and recovers; node 0 finishes its
         // task untouched.
-        e.add_faults(FaultPlan::none().crash(NodeId(1), Time::from_millis(100), Time::from_millis(200)));
+        e.add_faults(FaultPlan::none().crash(
+            NodeId(1),
+            Time::from_millis(100),
+            Time::from_millis(200),
+        ));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.tasks_completed, 1);
         assert_eq!(m.end_time, Time::from_secs(1));

@@ -24,13 +24,17 @@
 //!   per job (Section IV-B) and exposed to policies via
 //!   [`policy::TaskSnapshot::deadline`].
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod engine;
 pub mod faults;
+pub mod history;
 pub mod policy;
 pub mod schedule;
 pub mod state;
 
 pub use engine::{Engine, EngineConfig};
 pub use faults::{Fault, FaultPlan};
+pub use history::{ExecHistory, TaskHistory};
 pub use policy::{NoPreempt, NodeView, PreemptAction, PreemptPolicy, TaskSnapshot, WorldCtx};
 pub use schedule::{Assignment, Schedule};

@@ -123,7 +123,12 @@ impl PreemptPolicy for NoPreempt {
         "none"
     }
 
-    fn decide(&mut self, _now: Time, _view: &NodeView, _world: &WorldCtx<'_>) -> Vec<PreemptAction> {
+    fn decide(
+        &mut self,
+        _now: Time,
+        _view: &NodeView,
+        _world: &WorldCtx<'_>,
+    ) -> Vec<PreemptAction> {
         Vec::new()
     }
 

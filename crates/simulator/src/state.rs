@@ -89,6 +89,17 @@ pub struct TaskRt {
     pub deadline: Time,
     /// Generation counter invalidating stale finish events.
     pub gen: u32,
+    /// MI processed across all stints, including work later discarded by
+    /// restart-from-scratch evictions (execution-history accounting).
+    pub executed: Mi,
+    /// MI discarded by restart-from-scratch evictions.
+    pub lost: Mi,
+    /// Recovery overhead actually paid at dispatch, summed over stints.
+    pub overhead_paid: Dur,
+    /// Recovery charges levied (policy preemptions + charged fault kills).
+    pub recovery_charges: u32,
+    /// Completion instant; meaningful once `state == Done`.
+    pub finish: Time,
 }
 
 impl TaskRt {
@@ -107,6 +118,11 @@ impl TaskRt {
             unfinished_parents,
             deadline,
             gen: 0,
+            executed: Mi::ZERO,
+            lost: Mi::ZERO,
+            overhead_paid: Dur::ZERO,
+            recovery_charges: 0,
+            finish: Time::ZERO,
         }
     }
 
@@ -114,6 +130,19 @@ impl TaskRt {
     #[inline]
     pub fn ready(&self) -> bool {
         self.unfinished_parents == 0
+    }
+
+    /// Account the current stint's work at `rate` up to `now`: add it to
+    /// `executed` and remove it from `remaining`. The stint's yield is
+    /// clamped to the work still owed so floating-point surplus from rate
+    /// conversion never fabricates MI.
+    pub fn account_progress(&mut self, rate: dsp_units::Mips, now: Time) {
+        if now > self.work_start {
+            let done = Mi::done_in(rate, now.since(self.work_start));
+            let done = if done > self.remaining { self.remaining } else { done };
+            self.executed += done;
+            self.remaining = self.remaining - done;
+        }
     }
 
     /// Waiting time as of `now`, including the open stint.

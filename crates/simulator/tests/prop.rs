@@ -57,9 +57,7 @@ fn mk_jobs(n_jobs: usize, tasks_each: usize, shape_sel: u8, seed: u64) -> Vec<Jo
                 JobClass::Small,
                 Time::ZERO,
                 Time::from_secs(100_000),
-                (0..tasks_each)
-                    .map(|_| TaskSpec::sized(rng.gen_range(500.0..5_000.0)))
-                    .collect(),
+                (0..tasks_each).map(|_| TaskSpec::sized(rng.gen_range(500.0..5_000.0))).collect(),
                 dag,
             )
         })

@@ -48,7 +48,12 @@ pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
 /// `n` arrival instants of a Poisson process starting at `start` with
 /// `rate_per_min` events per minute (the paper draws the job arrival rate
 /// uniformly from [2, 5] jobs/min).
-pub fn poisson_arrivals<R: Rng>(rng: &mut R, n: usize, start: Time, rate_per_min: f64) -> Vec<Time> {
+pub fn poisson_arrivals<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    start: Time,
+    rate_per_min: f64,
+) -> Vec<Time> {
     let rate_per_sec = rate_per_min / 60.0;
     let mut t = start;
     let mut out = Vec::with_capacity(n);

@@ -77,11 +77,7 @@ fn clip01(x: f64) -> f64 {
 /// Synthesize one job's execution windows in `stages` waves: every task of
 /// wave `s` starts after all of wave `s−1` ends, so the paper's non-overlap
 /// rule recovers the wave structure as DAG levels.
-fn synth_windows<R: Rng>(
-    rng: &mut R,
-    m: usize,
-    p: &TraceParams,
-) -> (Vec<(Time, Time)>, Vec<Dur>) {
+fn synth_windows<R: Rng>(rng: &mut R, m: usize, p: &TraceParams) -> (Vec<(Time, Time)>, Vec<Dur>) {
     let stages = p.stages.max(1);
     let mut stage_of = Vec::with_capacity(m);
     let mut durations = Vec::with_capacity(m);
@@ -119,7 +115,7 @@ pub fn generate_workload<R: Rng>(rng: &mut R, num_jobs: usize, p: &TraceParams) 
     let rate = rng.gen_range(p.arrival_rate_per_min.0..=p.arrival_rate_per_min.1);
     let arrivals = poisson_arrivals(rng, num_jobs, Time::ZERO, rate);
     let reference = Mips::new(p.reference_mips);
-    (0..num_jobs)
+    let jobs: Vec<Job> = (0..num_jobs)
         .map(|i| {
             let class = JobClass::round_robin(i);
             let m = p.tasks_for(class);
@@ -152,7 +148,13 @@ pub fn generate_workload<R: Rng>(rng: &mut R, num_jobs: usize, p: &TraceParams) 
             let deadline = arrival + cp.mul_f64(p.deadline_slack);
             Job::new(JobId(i as u32), class, arrival, deadline, tasks, dag)
         })
-        .collect()
+        .collect();
+    debug_assert!(
+        dsp_dag::validate_jobs(&jobs).is_ok(),
+        "generated workload violates job invariants: {:?}",
+        dsp_dag::validate_jobs(&jobs)
+    );
+    jobs
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! CPU/memory in (0,1], Poisson arrivals) and then applies the *same*
 //! window-overlap DAG rule. See DESIGN.md §2.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod dag_builder;
 pub mod distributions;
 pub mod generator;
@@ -22,4 +24,6 @@ pub mod records;
 pub use dag_builder::{build_dag_from_windows, DagCaps};
 pub use distributions::{exponential, log_normal, poisson_arrivals, LogNormalParams};
 pub use generator::{generate_workload, TraceParams};
-pub use records::{jobs_from_records, load_jobs, load_records, save_jobs, save_records, TaskRecord};
+pub use records::{
+    jobs_from_records, load_jobs, load_records, save_jobs, save_records, TaskRecord,
+};

@@ -139,12 +139,7 @@ mod tests {
             cpu: 0.5,
             mem: 0.5,
         };
-        let records = vec![
-            rec(7, 1, 10, 20),
-            rec(3, 0, 0, 5),
-            rec(7, 0, 0, 8),
-            rec(3, 1, 2, 6),
-        ];
+        let records = vec![rec(7, 1, 10, 20), rec(3, 0, 0, 5), rec(7, 0, 0, 8), rec(3, 1, 2, 6)];
         let jobs = jobs_from_records(&records, 1000.0, 8.0, DagCaps::default());
         assert_eq!(jobs.len(), 2);
         // Dense renumbering in BTreeMap (original id) order: 3 → 0, 7 → 1.

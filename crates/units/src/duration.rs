@@ -11,7 +11,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// Like [`crate::Time`], subtraction saturates at zero: remaining-time and
 /// slack computations are pervasive in the scheduler and "none left" is the
 /// meaningful floor everywhere.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Dur(u64);
 
 impl Dur {

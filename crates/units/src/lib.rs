@@ -10,6 +10,8 @@
 //! `T_ij` on node `k` given by `t_ij,k = l_ij / g(k)` (Eq. 2). [`Mi`] and
 //! [`Mips`] encode exactly that arithmetic.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod duration;
 mod rate;
 mod resources;

@@ -15,7 +15,9 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// compute "deadline minus slack" quantities that can go negative; a
 /// saturated zero is the correct "already late" answer for every caller in
 /// this workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(u64);
 
 impl Time {

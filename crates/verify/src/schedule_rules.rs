@@ -1,0 +1,377 @@
+//! Static rules over a planned [`Schedule`]: R1 coverage, R2 precedence,
+//! R3 slot capacity, R4 deadline feasibility.
+//!
+//! All timing rules reason in the *estimated* timeline the offline
+//! schedulers plan in: a task placed on node `k` at `t^s` is estimated to
+//! finish at `t^s + l̂/g(k)` (Eq. 2 over the scheduler's size estimate).
+//! That is exactly the arithmetic `dsp-sched`'s packing simulations use, so
+//! a dependency-aware scheduler's output satisfies R2/R3 to the microsecond.
+
+use crate::diag::{Diagnostic, Report, Rule, Severity};
+use crate::VerifyOptions;
+use dsp_cluster::ClusterSpec;
+use dsp_dag::{level_deadlines, Job, TaskId};
+use dsp_sim::Schedule;
+use dsp_units::Time;
+use std::collections::HashMap;
+
+/// R1 alone: every task of every job appears exactly once, on a real node.
+/// This is the single source of truth behind
+/// `dsp_sched::api::schedule_covers_jobs`.
+pub fn check_coverage(s: &Schedule, jobs: &[Job], cluster: &ClusterSpec) -> Report {
+    let mut report = Report::new();
+    let mut seen: HashMap<TaskId, u32> = HashMap::with_capacity(s.len());
+    for a in &s.assignments {
+        if a.node.idx() >= cluster.len() {
+            report.push(Diagnostic {
+                rule: Rule::Coverage,
+                severity: Severity::Error,
+                task: Some(a.task),
+                node: Some(a.node),
+                at: Some(a.start),
+                message: format!(
+                    "assigned to node {} but the cluster has only {} nodes",
+                    a.node.idx(),
+                    cluster.len()
+                ),
+            });
+        }
+        match jobs.iter().find(|j| j.id == a.task.job) {
+            None => report.push(Diagnostic {
+                rule: Rule::Coverage,
+                severity: Severity::Error,
+                task: Some(a.task),
+                node: Some(a.node),
+                at: Some(a.start),
+                message: format!("job {} is not in the batch", a.task.job),
+            }),
+            Some(job) if a.task.idx() >= job.num_tasks() => report.push(Diagnostic {
+                rule: Rule::Coverage,
+                severity: Severity::Error,
+                task: Some(a.task),
+                node: Some(a.node),
+                at: Some(a.start),
+                message: format!(
+                    "task index {} out of range (job has {} tasks)",
+                    a.task.idx(),
+                    job.num_tasks()
+                ),
+            }),
+            Some(_) => {}
+        }
+        *seen.entry(a.task).or_insert(0) += 1;
+    }
+    for (&task, &n) in &seen {
+        if n > 1 {
+            report.push(Diagnostic {
+                rule: Rule::Coverage,
+                severity: Severity::Error,
+                task: Some(task),
+                node: None,
+                at: None,
+                message: format!("assigned {n} times (must be exactly once)"),
+            });
+        }
+    }
+    for job in jobs {
+        for v in 0..job.num_tasks() as u32 {
+            let id = job.task_id(v);
+            if !seen.contains_key(&id) {
+                report.push(Diagnostic {
+                    rule: Rule::Coverage,
+                    severity: Severity::Error,
+                    task: Some(id),
+                    node: None,
+                    at: None,
+                    message: "never assigned".into(),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Planned finish of an assignment: `t^s + l̂/g(k)` with the estimate the
+/// scheduler planned on and the assigned node's Eq. 1 rate.
+fn planned_finish(start: Time, job: &Job, v: u32, node: usize, cluster: &ClusterSpec) -> Time {
+    start + job.task(v).est_exec_time(cluster.nodes[node].rate())
+}
+
+/// R2: along every DAG edge `(u, v)`, the child's planned start must not
+/// precede the parent's planned finish.
+fn check_precedence(
+    s: &Schedule,
+    jobs: &[Job],
+    cluster: &ClusterSpec,
+    opts: &VerifyOptions,
+    report: &mut Report,
+) {
+    let severity = if opts.dependency_aware { Severity::Error } else { Severity::Warning };
+    for job in jobs {
+        // Last assignment wins on duplicates; R1 already reported those.
+        let mut placed: HashMap<u32, (usize, Time)> = HashMap::with_capacity(job.num_tasks());
+        for a in &s.assignments {
+            if a.task.job == job.id
+                && a.task.idx() < job.num_tasks()
+                && a.node.idx() < cluster.len()
+            {
+                placed.insert(a.task.index, (a.node.idx(), a.start));
+            }
+        }
+        for (u, v) in job.dag.edges() {
+            let (Some(&(nu, su)), Some(&(_, sv))) = (placed.get(&u), placed.get(&v)) else {
+                continue;
+            };
+            let parent_finish = planned_finish(su, job, u, nu, cluster);
+            if sv < parent_finish {
+                report.push(Diagnostic {
+                    rule: Rule::Precedence,
+                    severity,
+                    task: Some(job.task_id(v)),
+                    node: None,
+                    at: Some(sv),
+                    message: format!(
+                        "starts at {:.3}s before parent {} finishes at {:.3}s",
+                        sv.as_secs_f64(),
+                        job.task_id(u),
+                        parent_finish.as_secs_f64()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R3: sweep each node's planned intervals `[t^s, t^s + l̂/g(k))`; the
+/// number of overlapping intervals must never exceed the node's slots.
+/// Intervals are half-open, so a departure frees its slot to an arrival at
+/// the same instant — the packing simulations' exact semantics.
+fn check_capacity(s: &Schedule, jobs: &[Job], cluster: &ClusterSpec, report: &mut Report) {
+    let by_id: HashMap<_, _> = jobs.iter().map(|j| (j.id, j)).collect();
+    // Per node: (time, delta, task) events; at equal times departures
+    // (delta = -1) sort before arrivals.
+    let mut events: Vec<Vec<(Time, i32, TaskId)>> = vec![Vec::new(); cluster.len()];
+    for a in &s.assignments {
+        let Some(job) = by_id.get(&a.task.job) else { continue };
+        if a.task.idx() >= job.num_tasks() || a.node.idx() >= cluster.len() {
+            continue;
+        }
+        let finish = planned_finish(a.start, job, a.task.index, a.node.idx(), cluster);
+        events[a.node.idx()].push((a.start, 1, a.task));
+        events[a.node.idx()].push((finish, -1, a.task));
+    }
+    for (n, evs) in events.iter_mut().enumerate() {
+        evs.sort_by_key(|&(t, delta, _)| (t, delta));
+        let slots = cluster.nodes[n].slots as i32;
+        let mut load = 0i32;
+        let mut reported = false;
+        for &(t, delta, task) in evs.iter() {
+            load += delta;
+            if load > slots && !reported {
+                report.push(Diagnostic {
+                    rule: Rule::Capacity,
+                    severity: Severity::Error,
+                    task: Some(task),
+                    node: Some(cluster.nodes[n].id),
+                    at: Some(t),
+                    message: format!("{load} tasks planned concurrently on a {slots}-slot node"),
+                });
+                // One finding per node: the first oversubscribed instant.
+                reported = true;
+            }
+        }
+    }
+}
+
+/// R4: Eq. 5 feasibility — every task's planned finish meets its
+/// level-propagated deadline (computed, as everywhere in the workspace,
+/// from estimates at the cluster's mean rate). Deadline misses are
+/// warnings: the paper treats deadlines as soft targets the online phase
+/// chases, not as admission constraints.
+fn check_deadlines(s: &Schedule, jobs: &[Job], cluster: &ClusterSpec, report: &mut Report) {
+    let mean = cluster.mean_rate();
+    for job in jobs {
+        let exec = job.exec_estimates(mean);
+        let deadlines = level_deadlines(&job.dag, job.levels(), job.deadline, &exec);
+        for a in &s.assignments {
+            if a.task.job != job.id
+                || a.task.idx() >= job.num_tasks()
+                || a.node.idx() >= cluster.len()
+            {
+                continue;
+            }
+            let finish = planned_finish(a.start, job, a.task.index, a.node.idx(), cluster);
+            let deadline = deadlines[a.task.idx()];
+            if finish > deadline {
+                report.push(Diagnostic {
+                    rule: Rule::Deadline,
+                    severity: Severity::Warning,
+                    task: Some(a.task),
+                    node: Some(a.node),
+                    at: Some(a.start),
+                    message: format!(
+                        "planned finish {:.3}s misses the level deadline {:.3}s",
+                        finish.as_secs_f64(),
+                        deadline.as_secs_f64()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Run R1–R4 over a planned schedule.
+pub fn check_schedule(
+    s: &Schedule,
+    jobs: &[Job],
+    cluster: &ClusterSpec,
+    opts: &VerifyOptions,
+) -> Report {
+    let mut report = check_coverage(s, jobs, cluster);
+    check_precedence(s, jobs, cluster, opts, &mut report);
+    check_capacity(s, jobs, cluster, &mut report);
+    if opts.check_deadlines {
+        check_deadlines(s, jobs, cluster, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_cluster::{uniform, NodeId};
+    use dsp_dag::{Dag, JobClass, JobId, TaskSpec};
+
+    /// One 2-task chain job (1000 MI each) on a given deadline.
+    fn chain_job(deadline: Time) -> Job {
+        let mut dag = Dag::new(2);
+        dag.add_edge(0, 1).expect("edge");
+        Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::ZERO,
+            deadline,
+            vec![TaskSpec::sized(1000.0); 2],
+            dag,
+        )
+    }
+
+    /// A valid chain plan on one 1000-MIPS node: t=0s and t=1s.
+    fn valid_chain() -> (Vec<Job>, ClusterSpec, Schedule) {
+        let jobs = vec![chain_job(Time::from_secs(100))];
+        let cluster = uniform(1, 1000.0, 1);
+        let mut s = Schedule::new();
+        s.assign(jobs[0].task_id(0), NodeId(0), Time::ZERO);
+        s.assign(jobs[0].task_id(1), NodeId(0), Time::from_secs(1));
+        (jobs, cluster, s)
+    }
+
+    #[test]
+    fn valid_schedule_is_clean() {
+        let (jobs, cluster, s) = valid_chain();
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn missing_task_fires_r1() {
+        let (jobs, cluster, mut s) = valid_chain();
+        s.assignments.pop();
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(r.fired(Rule::Coverage));
+        assert!(!r.passes());
+    }
+
+    #[test]
+    fn unknown_job_fires_r1() {
+        let (jobs, cluster, mut s) = valid_chain();
+        s.assign(TaskId::new(7, 0), NodeId(0), Time::from_secs(9));
+        let r = check_coverage(&s, &jobs, &cluster);
+        assert!(r.fired(Rule::Coverage));
+    }
+
+    #[test]
+    fn start_before_parent_finish_fires_r2() {
+        // Two nodes so the early child violates only precedence, not slots.
+        let jobs = vec![chain_job(Time::from_secs(100))];
+        let cluster = uniform(2, 1000.0, 1);
+        let mut s = Schedule::new();
+        // Parent runs [0, 1s) on node 0; the child starts inside that
+        // window on node 1.
+        s.assign(jobs[0].task_id(0), NodeId(0), Time::ZERO);
+        s.assign(jobs[0].task_id(1), NodeId(1), Time::from_millis(500));
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(r.fired(Rule::Precedence));
+        assert!(!r.passes());
+        // Dependency-oblivious planning downgrades R2 to a warning.
+        let oblivious = VerifyOptions { dependency_aware: false, ..VerifyOptions::default() };
+        let r2 = check_schedule(&s, &jobs, &cluster, &oblivious);
+        assert!(r2.fired(Rule::Precedence));
+        assert!(r2.passes());
+    }
+
+    #[test]
+    fn child_at_exact_parent_finish_is_legal() {
+        let (jobs, cluster, s) = valid_chain();
+        // Child starts exactly at the parent's planned finish: no finding.
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(!r.fired(Rule::Precedence));
+    }
+
+    #[test]
+    fn slot_overlap_fires_r3() {
+        let jobs = vec![Job::new(
+            JobId(0),
+            JobClass::Small,
+            Time::ZERO,
+            Time::from_secs(100),
+            vec![TaskSpec::sized(1000.0); 2],
+            Dag::new(2),
+        )];
+        let cluster = uniform(1, 1000.0, 1);
+        let mut s = Schedule::new();
+        // Two 1s tasks on the single slot at the same instant.
+        s.assign(jobs[0].task_id(0), NodeId(0), Time::ZERO);
+        s.assign(jobs[0].task_id(1), NodeId(0), Time::from_millis(999));
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(r.fired(Rule::Capacity));
+        assert_eq!(r.count(Rule::Capacity), 1);
+    }
+
+    #[test]
+    fn back_to_back_on_one_slot_is_legal() {
+        let (jobs, cluster, s) = valid_chain();
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(!r.fired(Rule::Capacity));
+    }
+
+    #[test]
+    fn deadline_overrun_fires_r4_as_warning() {
+        // 2s of chained work against a 1.5s deadline.
+        let jobs = vec![chain_job(Time::from_millis(1500))];
+        let cluster = uniform(1, 1000.0, 1);
+        let mut s = Schedule::new();
+        s.assign(jobs[0].task_id(0), NodeId(0), Time::ZERO);
+        s.assign(jobs[0].task_id(1), NodeId(0), Time::from_secs(1));
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(r.fired(Rule::Deadline));
+        assert!(r.passes(), "deadline misses are warnings: {r}");
+        let no_deadlines = VerifyOptions { check_deadlines: false, ..VerifyOptions::default() };
+        assert!(!check_schedule(&s, &jobs, &cluster, &no_deadlines).fired(Rule::Deadline));
+    }
+
+    #[test]
+    fn heterogeneous_rates_use_the_assigned_node() {
+        // Node 0 at 2000 MIPS finishes the 1000 MI parent in 0.5s; a child
+        // on node 1 may start at 0.5s.
+        let mut cluster = uniform(2, 2000.0, 1);
+        cluster.nodes[1] =
+            dsp_cluster::Node::new(NodeId(1), 1000.0, 1000.0, cluster.nodes[1].capacity, 1);
+        let jobs = vec![chain_job(Time::from_secs(100))];
+        let mut s = Schedule::new();
+        s.assign(jobs[0].task_id(0), NodeId(0), Time::ZERO);
+        s.assign(jobs[0].task_id(1), NodeId(1), Time::from_millis(500));
+        let r = check_schedule(&s, &jobs, &cluster, &VerifyOptions::default());
+        assert!(!r.fired(Rule::Precedence), "{r}");
+    }
+}

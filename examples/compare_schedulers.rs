@@ -18,7 +18,10 @@ fn main() {
         SchedMethod::Fifo,
         SchedMethod::Random,
     ];
-    println!("{:<16} {:>12} {:>16} {:>14}", "method", "makespan(s)", "tput(tasks/ms)", "avg wait(s)");
+    println!(
+        "{:<16} {:>12} {:>16} {:>14}",
+        "method", "makespan(s)", "tput(tasks/ms)", "avg wait(s)"
+    );
     for sched in methods {
         let cfg = ExperimentConfig {
             cluster: ClusterProfile::Palmetto,

@@ -33,14 +33,8 @@ fn main() {
     }
     let sizes = [2000.0, 1000.0, 3000.0, 500.0, 1500.0, 2500.0, 1000.0];
     let tasks: Vec<TaskSpec> = sizes.iter().map(|&s| TaskSpec::sized(s)).collect();
-    let jobs = vec![Job::new(
-        JobId(0),
-        JobClass::Small,
-        Time::ZERO,
-        Time::from_secs(3600),
-        tasks,
-        dag,
-    )];
+    let jobs =
+        vec![Job::new(JobId(0), JobClass::Small, Time::ZERO, Time::from_secs(3600), tasks, dag)];
     let cluster = uniform(2, 1000.0, 1); // two 1000-MIPS single-slot nodes
 
     let exec: Vec<Dur> = jobs[0].exec_estimates(cluster.mean_rate());

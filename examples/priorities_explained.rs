@@ -29,10 +29,8 @@ fn snapshot(job: &Job, v: u32) -> TaskSnapshot {
 }
 
 fn priorities_of(job: &Job) -> Vec<(u32, f64)> {
-    let snaps: Vec<TaskSnapshot> =
-        (0..job.num_tasks() as u32).map(|v| snapshot(job, v)).collect();
-    let views =
-        vec![NodeView { node: NodeId(0), running: vec![], waiting: snaps, slots: 1 }];
+    let snaps: Vec<TaskSnapshot> = (0..job.num_tasks() as u32).map(|v| snapshot(job, v)).collect();
+    let views = vec![NodeView { node: NodeId(0), running: vec![], waiting: snaps, slots: 1 }];
     let jobs = vec![job.clone()];
     let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
     let map = compute_priorities(&views, &world, &PriorityWeights::default());

@@ -5,6 +5,8 @@
 //! surface lives in the `crates/` workspace members, re-exported here for
 //! convenience so `dsp_repro::…` reaches everything.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub use dsp_cluster as cluster;
 pub use dsp_core as core;
 pub use dsp_dag as dag;

@@ -1,12 +1,17 @@
 //! Property-based cross-crate invariants: random DAG workloads through the
-//! full pipeline must respect coverage, dependency order, conservation of
-//! work, and lower bounds — for every scheduler and policy.
+//! full pipeline must satisfy `dsp-verify`'s rules — coverage (R1),
+//! precedence (R2), capacity (R3), deadline feasibility (R4) for every
+//! scheduler, and the conservation rules (R5/R6) for simulated execution —
+//! plus the classic makespan lower bounds.
 
 use dsp_cluster::uniform;
 use dsp_dag::{critical_path_len, generate::gen_dag, DagShape, Job, JobClass, JobId, TaskSpec};
-use dsp_sched::{api::schedule_covers_jobs, AaloScheduler, DspListScheduler, Scheduler, TetrisScheduler};
+use dsp_sched::{
+    AaloScheduler, DspListScheduler, FifoScheduler, RandomScheduler, Scheduler, TetrisScheduler,
+};
 use dsp_sim::{Engine, EngineConfig, NoPreempt};
 use dsp_units::{Dur, Mi, ResourceVec, Time};
+use dsp_verify::{check_execution, check_schedule, Rule, VerifyOptions};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,10 +29,7 @@ fn mk_job(id: u32, n_tasks: usize, shape_sel: u8, sizes: &[f64], seed: u64) -> J
     let dag = gen_dag(&mut rng, n_tasks, shape, 15);
     let tasks: Vec<TaskSpec> = (0..n_tasks)
         .map(|i| {
-            TaskSpec::new(
-                Mi::new(sizes[i % sizes.len()]),
-                ResourceVec::new(0.3, 0.3, 0.02, 0.02),
-            )
+            TaskSpec::new(Mi::new(sizes[i % sizes.len()]), ResourceVec::new(0.3, 0.3, 0.02, 0.02))
         })
         .collect();
     Job::new(JobId(id), JobClass::Small, Time::ZERO, Time::from_secs(100_000), tasks, dag)
@@ -36,9 +38,11 @@ fn mk_job(id: u32, n_tasks: usize, shape_sel: u8, sizes: &[f64], seed: u64) -> J
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// Every scheduler covers every task exactly once, on every DAG shape.
+    /// Every dependency-aware scheduler produces a plan that is clean under
+    /// R1 (coverage), R2 (precedence) and R3 (capacity) on every DAG shape;
+    /// the generous test deadline keeps R4 quiet too.
     #[test]
-    fn schedulers_cover_random_workloads(
+    fn dep_aware_schedulers_verify_clean(
         n_tasks in 1usize..25,
         shape in 0u8..5,
         nodes in 1usize..6,
@@ -49,21 +53,45 @@ proptest! {
         let cluster = uniform(nodes, 1000.0, slots);
         let mut scheds: Vec<Box<dyn Scheduler>> = vec![
             Box::new(DspListScheduler::default()),
-            Box::new(TetrisScheduler::without_dep()),
             Box::new(TetrisScheduler::with_simple_dep()),
             Box::new(AaloScheduler::default()),
+            Box::new(FifoScheduler),
+            Box::new(RandomScheduler::new(seed)),
         ];
         for s in scheds.iter_mut() {
             let schedule = s.schedule(&jobs, &cluster, Time::ZERO);
+            let report = check_schedule(&schedule, &jobs, &cluster, &VerifyOptions::default());
             prop_assert!(
-                schedule_covers_jobs(&schedule, &jobs, &cluster),
-                "{} failed coverage", s.name()
+                report.is_clean(),
+                "{} broke an invariant:\n{}", s.name(), report
             );
         }
     }
 
-    /// Simulated execution completes all tasks, never beats the critical
-    /// path, and never beats total-work-over-total-capacity.
+    /// TetrisW/oDep ignores dependencies by design: verified with
+    /// `dependency_aware: false` it must still pass (R2 findings downgrade
+    /// to warnings; R1/R3 must stay clean).
+    #[test]
+    fn dep_oblivious_tetris_passes_downgraded(
+        n_tasks in 1usize..25,
+        shape in 0u8..5,
+        nodes in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let jobs = vec![mk_job(0, n_tasks, shape, &[500.0, 1200.0], seed)];
+        let cluster = uniform(nodes, 1000.0, 2);
+        let mut s = TetrisScheduler::without_dep();
+        let schedule = s.schedule(&jobs, &cluster, Time::ZERO);
+        let opts = VerifyOptions { dependency_aware: false, ..VerifyOptions::default() };
+        let report = check_schedule(&schedule, &jobs, &cluster, &opts);
+        prop_assert!(report.passes(), "TetrisW/oDep errored:\n{report}");
+        prop_assert!(!report.fired(Rule::Coverage), "R1 fired:\n{report}");
+        prop_assert!(!report.fired(Rule::Capacity), "R3 fired:\n{report}");
+    }
+
+    /// Simulated execution completes all tasks, satisfies the conservation
+    /// rules R5/R6 against the engine's own metrics, and never beats the
+    /// critical path or total-work-over-total-capacity.
     #[test]
     fn simulation_respects_lower_bounds(
         n_tasks in 1usize..20,
@@ -83,6 +111,9 @@ proptest! {
         prop_assert_eq!(m.jobs_completed(), 1);
         prop_assert_eq!(m.disorders, 0);
         prop_assert_eq!(m.preemptions, 0);
+
+        let exec_report = check_execution(&engine.history(), Some(&m));
+        prop_assert!(exec_report.is_clean(), "R5/R6 violated:\n{exec_report}");
 
         // Lower bound 1: the DAG's critical path at node rate.
         let exec: Vec<Dur> = jobs[0].exec_estimates(cluster.mean_rate());

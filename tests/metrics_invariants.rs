@@ -21,8 +21,7 @@ fn cfg(preempt: PreemptMethod, seed: u64) -> ExperimentConfig {
 
 #[test]
 fn task_accounting_balances() {
-    for p in [PreemptMethod::None, PreemptMethod::Dsp, PreemptMethod::Amoeba, PreemptMethod::Srpt]
-    {
+    for p in [PreemptMethod::None, PreemptMethod::Dsp, PreemptMethod::Amoeba, PreemptMethod::Srpt] {
         let m = run_experiment(&cfg(p, 11));
         // Every job's recorded task count sums to the completed total.
         let sum: usize = m.jobs.iter().map(|j| j.tasks).sum();

@@ -43,13 +43,7 @@ fn fig5_dsp_beats_tetris_variants() {
         let wodep = run(cluster, SchedMethod::TetrisWoDep, PreemptMethod::None).makespan();
         assert!(dsp < wodep, "{}: DSP {} !< TetrisW/oDep {}", cluster.label(), dsp, wodep);
         assert!(dsp <= simdep, "{}: DSP {} !<= SimDep {}", cluster.label(), dsp, simdep);
-        assert!(
-            simdep <= wodep,
-            "{}: SimDep {} !<= W/oDep {}",
-            cluster.label(),
-            simdep,
-            wodep
-        );
+        assert!(simdep <= wodep, "{}: SimDep {} !<= W/oDep {}", cluster.label(), simdep, wodep);
     }
 }
 
