@@ -75,7 +75,7 @@ fn bench_sim(c: &mut Criterion) {
     let schedule = DspListScheduler::default().schedule(&jobs, &cluster, Time::ZERO);
     c.bench_function("micro/simulate_no_preempt", |b| {
         b.iter(|| {
-            let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+            let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
             e.add_batch(Time::ZERO, schedule.clone());
             e.run(&mut NoPreempt)
         })

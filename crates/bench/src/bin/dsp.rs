@@ -1,5 +1,5 @@
-//! `dsp` — run one experiment, or verify serialized artifacts, from the
-//! command line.
+//! `dsp` — run one experiment, verify serialized artifacts, or talk to a
+//! running `dspd` service, from the command line.
 //!
 //! ```text
 //! dsp [--cluster ec2|palmetto] [--jobs N] [--seed S] [--scale F]
@@ -11,25 +11,39 @@
 //!
 //! dsp verify --jobs FILE --schedule FILE [--cluster ec2|palmetto]
 //!     [--trace FILE] [--dep-oblivious] [--no-deadlines] [--json]
+//! dsp verify --snapshot FILE [--dep-oblivious] [--no-deadlines] [--json]
+//!
+//! dsp serve   [--addr HOST:PORT] [--cluster NAME] [--sched NAME]
+//!             [--preempt NAME] [--period SECS] [--epoch SECS]
+//!             [--time-scale F] [--max-pending TASKS] [--no-feasibility]
+//! dsp submit  --addr HOST:PORT (--file FILE | --gen N [--seed S] [--scale F])
+//! dsp status  --addr HOST:PORT --job ID
+//! dsp metrics --addr HOST:PORT
+//! dsp drain   --addr HOST:PORT [--out SNAPSHOT_FILE]
 //! ```
 //!
-//! The run mode prints the run's headline metrics (or the full
-//! `RunMetrics` as JSON) and can serialize its artifacts: the generated
-//! jobs, the combined offline schedule, and the execution trace. The
-//! `verify` subcommand replays `dsp-verify`'s rules R1–R4 over a
-//! serialized schedule (and R5–R6 over a serialized trace) and exits 0
-//! when no rule reports an error, 1 when one does, 2 on usage errors.
+//! Artifacts (`--dump-*`, snapshots) are versioned JSON: every file
+//! carries a `format_version` stamp and `dsp verify` exits 2 with a clear
+//! message when handed a version this build does not read.
+//!
+//! The run mode prints the run's headline metrics (or the full metrics
+//! as JSON) and can serialize its artifacts: the generated jobs, the
+//! combined offline schedule, and the execution trace. The `verify`
+//! subcommand replays `dsp-verify`'s rules R1–R4 over a serialized
+//! schedule (and R5–R6 over a serialized trace or service snapshot) and
+//! exits 0 when no rule reports an error, 1 when one does, 2 on usage
+//! errors.
 
 use dsp_core::cluster::NodeId;
 use dsp_core::sim::FaultPlan;
-use dsp_core::trace::{generate_workload, load_jobs, save_jobs, TraceParams};
+use dsp_core::trace::{generate_workload, TraceParams};
 use dsp_core::units::Time;
-use dsp_core::verify::{check_execution, check_schedule, Severity, VerifyOptions};
+use dsp_core::verify::{check_execution, check_schedule, Report, Severity, VerifyOptions};
 use dsp_core::{ClusterProfile, DspSystem, Params, PreemptMethod, SchedMethod};
+use dsp_service::json::Json;
+use dsp_service::{codec, wire, Client};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
 
 struct Args {
     cluster: ClusterProfile,
@@ -53,7 +67,15 @@ fn usage() -> ! {
          [--kill NODE@SECS]... [--straggle NODE@SECS@FACTOR]... \
          [--dump-jobs FILE] [--dump-schedule FILE] [--dump-trace FILE] [--json]\n\
          \x20      dsp verify --jobs FILE --schedule FILE [--cluster ec2|palmetto] \
-         [--trace FILE] [--dep-oblivious] [--no-deadlines] [--json]"
+         [--trace FILE] [--dep-oblivious] [--no-deadlines] [--json]\n\
+         \x20      dsp verify --snapshot FILE [--dep-oblivious] [--no-deadlines] [--json]\n\
+         \x20      dsp serve [--addr HOST:PORT] [--cluster NAME] [--sched NAME] \
+         [--preempt NAME] [--period SECS] [--epoch SECS] [--time-scale F] \
+         [--max-pending TASKS] [--no-feasibility]\n\
+         \x20      dsp submit --addr HOST:PORT (--file FILE | --gen N [--seed S] [--scale F])\n\
+         \x20      dsp status --addr HOST:PORT --job ID\n\
+         \x20      dsp metrics --addr HOST:PORT\n\
+         \x20      dsp drain --addr HOST:PORT [--out SNAPSHOT_FILE]"
     );
     std::process::exit(2)
 }
@@ -146,18 +168,73 @@ fn parse(argv: &[String]) -> Args {
     args
 }
 
-fn writer(path: &str) -> BufWriter<File> {
-    BufWriter::new(File::create(path).unwrap_or_else(|e| {
-        eprintln!("dsp: cannot create {path}: {e}");
+fn write_artifact(path: &str, artifact: &Json) {
+    if let Err(e) = std::fs::write(path, artifact.to_string() + "\n") {
+        eprintln!("dsp: cannot write {path}: {e}");
         std::process::exit(2)
-    }))
+    }
 }
 
-fn reader(path: &str) -> BufReader<File> {
-    BufReader::new(File::open(path).unwrap_or_else(|e| {
+/// Load and parse a JSON artifact file; exit 2 on I/O or syntax errors.
+fn read_artifact(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("dsp: cannot open {path}: {e}");
         std::process::exit(2)
-    }))
+    });
+    dsp_service::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("dsp: cannot parse {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+/// Unwrap a codec decode; version mismatches and shape errors exit 2.
+fn decode_or_die<T>(result: Result<T, codec::CodecError>, path: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("dsp: cannot decode {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn report_to_json(report: &Report) -> Json {
+    Json::obj(vec![
+        ("passes", Json::Bool(report.passes())),
+        (
+            "diagnostics",
+            Json::Arr(
+                report
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("rule", Json::Str(format!("{:?}", d.rule))),
+                            ("severity", Json::Str(format!("{:?}", d.severity))),
+                            (
+                                "task",
+                                match d.task {
+                                    Some(t) => Json::Str(format!("T{}.{}", t.job.0, t.index)),
+                                    None => Json::Null,
+                                },
+                            ),
+                            (
+                                "node",
+                                match d.node {
+                                    Some(n) => Json::U64(u64::from(n.0)),
+                                    None => Json::Null,
+                                },
+                            ),
+                            (
+                                "at_us",
+                                match d.at {
+                                    Some(t) => Json::U64(t.as_micros()),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("message", Json::Str(d.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn run_main(argv: &[String]) {
@@ -217,7 +294,7 @@ fn run_main(argv: &[String]) {
             params.sched_period,
             sched.as_mut(),
         );
-        let mut engine = Engine::new(&jobs, &system.cluster, params.engine_config());
+        let mut engine = Engine::new(jobs.clone(), system.cluster.clone(), params.engine_config());
         let mut combined = Schedule::new();
         for (at, schedule) in batches {
             combined.extend(schedule.clone());
@@ -226,19 +303,19 @@ fn run_main(argv: &[String]) {
         engine.add_faults(args.faults);
         let metrics = engine.run(policy.as_mut());
         if let Some(path) = &args.dump_jobs {
-            save_jobs(writer(path), &jobs).expect("serialize jobs");
+            write_artifact(path, &codec::jobs_to_artifact(&jobs));
         }
         if let Some(path) = &args.dump_schedule {
-            serde_json::to_writer(writer(path), &combined).expect("serialize schedule");
+            write_artifact(path, &codec::schedule_to_artifact(&combined));
         }
         if let Some(path) = &args.dump_trace {
-            serde_json::to_writer(writer(path), &engine.history()).expect("serialize trace");
+            write_artifact(path, &codec::trace_to_artifact(&engine.history()));
         }
         metrics
     };
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&metrics).expect("metrics serialize"));
+        println!("{}", codec::metrics_to_json(&metrics));
         return;
     }
     println!(
@@ -260,10 +337,23 @@ fn run_main(argv: &[String]) {
     println!("  node failures      {:>12}", metrics.node_failures);
 }
 
+fn finish_verify(report: Report, checked: usize, json: bool) -> ! {
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        print!("{report}");
+        let errors = report.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = report.len() - errors;
+        println!("{checked} assignments checked: {errors} errors, {warnings} warnings");
+    }
+    std::process::exit(if report.passes() { 0 } else { 1 })
+}
+
 fn verify_main(argv: &[String]) {
     let mut jobs_path: Option<String> = None;
     let mut schedule_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut snapshot_path: Option<String> = None;
     let mut cluster = ClusterProfile::Ec2;
     let mut opts = VerifyOptions::default();
     let mut json = false;
@@ -277,6 +367,7 @@ fn verify_main(argv: &[String]) {
             "--jobs" => jobs_path = Some(next(&mut i)),
             "--schedule" => schedule_path = Some(next(&mut i)),
             "--trace" => trace_path = Some(next(&mut i)),
+            "--snapshot" => snapshot_path = Some(next(&mut i)),
             "--cluster" => {
                 cluster = match next(&mut i).as_str() {
                     "ec2" => ClusterProfile::Ec2,
@@ -292,48 +383,290 @@ fn verify_main(argv: &[String]) {
         }
         i += 1;
     }
+
+    // Snapshot mode: the artifact is self-contained (cluster + jobs +
+    // schedule + trace), so it conflicts with the piecewise flags.
+    if let Some(path) = snapshot_path {
+        if jobs_path.is_some() || schedule_path.is_some() || trace_path.is_some() {
+            usage()
+        }
+        let snap = decode_or_die(codec::Snapshot::from_json(&read_artifact(&path)), &path);
+        if let Err(e) = dsp_core::dag::validate_jobs(&snap.jobs) {
+            eprintln!("dsp: invalid jobs in {path}: {e}");
+            std::process::exit(2)
+        }
+        let mut report = check_schedule(&snap.schedule, &snap.jobs, &snap.cluster, &opts);
+        report.merge(check_execution(&snap.history, None));
+        finish_verify(report, snap.schedule.len(), json)
+    }
+
     let (Some(jobs_path), Some(schedule_path)) = (jobs_path, schedule_path) else { usage() };
 
-    let jobs = load_jobs(reader(&jobs_path)).unwrap_or_else(|e| {
-        eprintln!("dsp: cannot parse jobs from {jobs_path}: {e}");
-        std::process::exit(2)
-    });
+    let jobs = decode_or_die(codec::jobs_from_artifact(&read_artifact(&jobs_path)), &jobs_path);
     if let Err(e) = dsp_core::dag::validate_jobs(&jobs) {
         eprintln!("dsp: invalid jobs in {jobs_path}: {e}");
         std::process::exit(2)
     }
-    let schedule: dsp_core::sim::Schedule = serde_json::from_reader(reader(&schedule_path))
-        .unwrap_or_else(|e| {
-            eprintln!("dsp: cannot parse schedule from {schedule_path}: {e}");
-            std::process::exit(2)
-        });
+    let schedule = decode_or_die(
+        codec::schedule_from_artifact(&read_artifact(&schedule_path)),
+        &schedule_path,
+    );
     let cluster = cluster.build();
 
     let mut report = check_schedule(&schedule, &jobs, &cluster, &opts);
     if let Some(path) = trace_path {
-        let history: dsp_core::sim::ExecHistory = serde_json::from_reader(reader(&path))
-            .unwrap_or_else(|e| {
-                eprintln!("dsp: cannot parse trace from {path}: {e}");
-                std::process::exit(2)
-            });
+        let history = decode_or_die(codec::trace_from_artifact(&read_artifact(&path)), &path);
         report.merge(check_execution(&history, None));
     }
+    finish_verify(report, schedule.len(), json)
+}
 
-    if json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serialize"));
-    } else {
-        print!("{report}");
-        let errors = report.iter().filter(|d| d.severity == Severity::Error).count();
-        let warnings = report.len() - errors;
-        println!("{} assignments checked: {errors} errors, {warnings} warnings", schedule.len());
+// ------------------------------------------------------------- service verbs
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("dsp: cannot connect to {addr}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn call(client: &mut Client, request: &Json) -> Json {
+    client.call(request).unwrap_or_else(|e| {
+        eprintln!("dsp: service call failed: {e}");
+        std::process::exit(2)
+    })
+}
+
+/// Print the response and exit 0/1 by its `ok` flag.
+fn finish_call(response: Json) -> ! {
+    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    println!("{response}");
+    std::process::exit(if ok { 0 } else { 1 })
+}
+
+fn serve_main(argv: &[String]) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cluster_name = "ec2".to_string();
+    let mut sched_name = "dsp".to_string();
+    let mut preempt_name = "dsp".to_string();
+    let mut params = Params::default();
+    let mut time_scale = 600.0_f64;
+    let mut admission = dsp_service::AdmissionConfig::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = next(&mut i),
+            "--cluster" => cluster_name = next(&mut i),
+            "--sched" => sched_name = next(&mut i),
+            "--preempt" => preempt_name = next(&mut i),
+            "--period" => {
+                let secs: u64 = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if secs == 0 {
+                    usage()
+                }
+                params.sched_period = dsp_core::units::Dur::from_secs(secs);
+            }
+            "--epoch" => {
+                let secs: u64 = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if secs == 0 {
+                    usage()
+                }
+                params.epoch = dsp_core::units::Dur::from_secs(secs);
+            }
+            "--time-scale" => {
+                time_scale = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if time_scale <= 0.0 {
+                    usage()
+                }
+            }
+            "--max-pending" => {
+                admission.max_pending_tasks = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--no-feasibility" => admission.check_feasibility = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
     }
-    std::process::exit(if report.passes() { 0 } else { 1 })
+    let cluster = dsp_service::build_cluster(&cluster_name).unwrap_or_else(|| usage());
+    let scheduler = dsp_service::build_scheduler(&sched_name).unwrap_or_else(|| usage());
+    let policy = dsp_service::build_policy(&preempt_name, &params).unwrap_or_else(|| usage());
+    let driver = dsp_service::OnlineDriver::new(
+        cluster,
+        params.engine_config(),
+        params.sched_period,
+        scheduler,
+        policy,
+        admission,
+    );
+    let config =
+        dsp_service::ServerConfig { addr, time_scale, tick: std::time::Duration::from_millis(10) };
+    let handle = dsp_service::serve(driver, config).unwrap_or_else(|e| {
+        eprintln!("dsp: failed to bind: {e}");
+        std::process::exit(1)
+    });
+    println!("dspd listening on {}", handle.addr);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("dspd drained; exiting");
+}
+
+fn submit_main(argv: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut gen: Option<usize> = None;
+    let mut seed = 2018_u64;
+    let mut scale = 0.06_f64;
+    let mut noise = 0.4_f64;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = Some(next(&mut i)),
+            "--file" => file = Some(next(&mut i)),
+            "--gen" => gen = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--seed" => seed = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--noise" => noise = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else { usage() };
+    let request = match (file, gen) {
+        (Some(path), None) => {
+            // The file may hold a full submit request, or a bare array of
+            // job-request objects.
+            let doc = read_artifact(&path);
+            match &doc {
+                Json::Arr(jobs) => Json::obj(vec![
+                    ("op", Json::Str("submit".into())),
+                    ("jobs", Json::Arr(jobs.clone())),
+                ]),
+                _ => doc,
+            }
+        }
+        (None, Some(n)) => {
+            let trace = TraceParams {
+                task_scale: scale,
+                estimate_noise_sigma: noise,
+                ..TraceParams::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let jobs = generate_workload(&mut rng, n, &trace);
+            let requests: Vec<dsp_service::JobRequest> =
+                jobs.iter().map(dsp_service::JobRequest::from_job).collect();
+            wire::submit_request(&requests)
+        }
+        _ => usage(),
+    };
+    let mut client = connect(&addr);
+    finish_call(call(&mut client, &request))
+}
+
+fn status_main(argv: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut job: Option<u64> = None;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = Some(next(&mut i)),
+            "--job" => job = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(addr), Some(job)) = (addr, job) else { usage() };
+    let mut client = connect(&addr);
+    let request = Json::obj(vec![("op", Json::Str("status".into())), ("job", Json::U64(job))]);
+    finish_call(call(&mut client, &request))
+}
+
+fn metrics_main(argv: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = Some(next(&mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client = connect(&addr);
+    finish_call(call(&mut client, &Json::obj(vec![("op", Json::Str("metrics".into()))])))
+}
+
+fn drain_main(argv: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = Some(next(&mut i)),
+            "--out" => out = Some(next(&mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client = connect(&addr);
+    let response = call(&mut client, &Json::obj(vec![("op", Json::Str("drain".into()))]));
+    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    if ok {
+        let snapshot = response.get("snapshot").unwrap_or(&Json::Null);
+        if let Some(path) = out {
+            write_artifact(&path, snapshot);
+            eprintln!("dsp: snapshot written to {path}");
+        }
+        // Human summary on stdout instead of the (large) raw snapshot.
+        let metrics = snapshot.get("metrics").unwrap_or(&Json::Null);
+        let jobs = snapshot.get("jobs").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0);
+        println!(
+            "drained: {jobs} jobs, {} tasks completed, {} preemptions, makespan {:.2} s",
+            metrics.get("tasks_completed").and_then(Json::as_u64).unwrap_or(0),
+            metrics.get("preemptions").and_then(Json::as_u64).unwrap_or(0),
+            metrics.get("makespan_us").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+        );
+        std::process::exit(0)
+    }
+    println!("{response}");
+    std::process::exit(1)
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("verify") => verify_main(&argv[1..]),
+        Some("serve") => serve_main(&argv[1..]),
+        Some("submit") => submit_main(&argv[1..]),
+        Some("status") => status_main(&argv[1..]),
+        Some("metrics") => metrics_main(&argv[1..]),
+        Some("drain") => drain_main(&argv[1..]),
         _ => run_main(&argv),
     }
 }

@@ -223,7 +223,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunMetrics {
     let cluster = cfg.cluster.build();
     let mut scheduler = cfg.sched.build(cfg.seed);
     let batches = periodic_schedules(&jobs, &cluster, cfg.params.sched_period, scheduler.as_mut());
-    let mut engine = Engine::new(&jobs, &cluster, cfg.params.engine_config());
+    let mut engine = Engine::new(jobs.clone(), cluster.clone(), cfg.params.engine_config());
     for (at, schedule) in batches {
         engine.add_batch(at, schedule);
     }

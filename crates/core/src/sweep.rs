@@ -21,7 +21,10 @@ where
         return Vec::new();
     }
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let workers = if threads == 0 { n.min(hw) } else { threads.min(n) };
+    // `.max(1)` guards the degenerate corners (a host reporting zero
+    // parallelism, future edits to the auto rule): the worker count must
+    // never reach zero or the spawn loop below would produce no output.
+    let workers = if threads == 0 { n.min(hw) } else { threads.min(n) }.max(1);
     if workers <= 1 {
         return inputs.iter().map(&f).collect();
     }
@@ -67,5 +70,18 @@ mod tests {
     fn zero_means_auto() {
         let out = parallel_map((0..10).collect(), 0, |&x: &i32| x);
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_at_least_one() {
+        // `threads = 0` is the auto mode, never zero workers: every input
+        // must be mapped even in the degenerate one-element case, and the
+        // output must stay ordered.
+        for threads in [0usize, 1, 2, 64] {
+            let out = parallel_map(vec![7], threads, |&x: &i32| x * 3);
+            assert_eq!(out, vec![21], "threads={threads}");
+            let out = parallel_map((0..5).collect(), threads, |&x: &i32| x + 1);
+            assert_eq!(out, vec![1, 2, 3, 4, 5], "threads={threads}");
+        }
     }
 }

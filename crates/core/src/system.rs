@@ -30,9 +30,10 @@ impl DspSystem {
     }
 
     /// Run the full DSP pipeline (list scheduler offline, Algorithm 1 with
-    /// PP online) over `jobs`. Jobs must be indexed by their `JobId`
-    /// (`jobs[i].id == JobId(i)`), which `dsp_trace::generate_workload`
-    /// guarantees.
+    /// PP online) over `jobs`. Jobs must be sorted by strictly increasing
+    /// `JobId`; the ids themselves are arbitrary (a long-running service
+    /// hands them out across batches). `dsp_trace::generate_workload`
+    /// produces a conforming list.
     pub fn run(&self, jobs: &[Job]) -> RunMetrics {
         let mut sched = DspListScheduler { gamma: self.params.gamma };
         let mut policy = DspPolicy::new(self.params.dsp_params(true));
@@ -61,7 +62,8 @@ impl DspSystem {
         faults: dsp_sim::FaultPlan,
     ) -> RunMetrics {
         let batches = periodic_schedules(jobs, &self.cluster, self.params.sched_period, scheduler);
-        let mut engine = Engine::new(jobs, &self.cluster, self.params.engine_config());
+        let mut engine =
+            Engine::new(jobs.to_vec(), self.cluster.clone(), self.params.engine_config());
         for (at, schedule) in batches {
             engine.add_batch(at, schedule);
         }
@@ -97,6 +99,30 @@ mod tests {
         let m = sys.run(&jobs);
         assert_eq!(m.jobs_completed(), 5);
         assert_eq!(m.disorders, 0, "DSP never violates dependency order");
+    }
+
+    #[test]
+    fn sparse_job_ids_run_end_to_end() {
+        // The service assigns ids across batches, so `jobs[i].id` need not
+        // equal `JobId(i)` — only monotonicity is required. Renumber a
+        // workload onto ids 3, 10, 11, ... and everything must still run.
+        let sys = DspSystem::new(dsp_cluster::ec2(), Params::default());
+        let dense = workload(4);
+        let sparse: Vec<Job> = dense
+            .iter()
+            .zip([3u32, 10, 11, 40])
+            .map(|(j, id)| {
+                let mut j = j.clone();
+                j.id = dsp_dag::JobId(id);
+                j
+            })
+            .collect();
+        let a = sys.run(&dense);
+        let b = sys.run(&sparse);
+        assert_eq!(b.jobs_completed(), 4);
+        // Ids are labels, not indices: the renumbered run is identical.
+        assert_eq!(a.tasks_completed, b.tasks_completed);
+        assert_eq!(a.makespan(), b.makespan());
     }
 
     #[test]

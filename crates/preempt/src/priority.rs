@@ -16,7 +16,7 @@
 //! have already finished contribute nothing — their subtree is history; a
 //! task whose children are all done is, for priority purposes, a leaf.
 
-use dsp_dag::TaskId;
+use dsp_dag::{JobId, TaskId};
 use dsp_sim::{NodeView, TaskSnapshot, WorldCtx};
 use dsp_units::Dur;
 use std::collections::HashMap;
@@ -116,7 +116,7 @@ pub fn compute_priorities(
     let mut snaps: HashMap<u32, Vec<Option<TaskSnapshot>>> = HashMap::new();
     for view in views {
         for s in view.running.iter().chain(view.waiting.iter()) {
-            let job = &world.jobs[s.id.job.idx()];
+            let job = world.job_of(s.id);
             snaps.entry(s.id.job.get()).or_insert_with(|| vec![None; job.num_tasks()])
                 [s.id.idx()] = Some(*s);
         }
@@ -125,7 +125,7 @@ pub fn compute_priorities(
     let mut jobs_seen: Vec<u32> = snaps.keys().copied().collect();
     jobs_seen.sort_unstable();
     for j in jobs_seen {
-        let job = &world.jobs[j as usize];
+        let job = world.find(JobId(j)).expect("job appeared in an epoch view");
         let job_snaps = &snaps[&j];
         let mut prio = vec![f64::NAN; job.num_tasks()];
         for &v in job.dag.topo_order().iter().rev() {

@@ -1,0 +1,108 @@
+//! `dspd` — the DSP online service daemon.
+//!
+//! ```text
+//! dspd [--addr HOST:PORT] [--cluster ec2|palmetto|uniform:N:RATE:SLOTS]
+//!      [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none]
+//!      [--period SECS] [--epoch SECS] [--time-scale F]
+//!      [--max-pending TASKS] [--no-feasibility]
+//! ```
+//!
+//! Binds the socket (port 0 picks an ephemeral port), prints
+//! `dspd listening on HOST:PORT` on stdout, and serves the newline-
+//! delimited JSON protocol until a client sends `{"op":"drain"}`.
+//! `--time-scale` is simulated seconds per wall second; the default 600
+//! crosses one 300 s scheduling period every half wall-second.
+
+use dsp_core::config::Params;
+use dsp_service::{build_cluster, build_policy, build_scheduler, serve, AdmissionConfig};
+use dsp_units::Dur;
+use std::io::Write;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dspd [--addr HOST:PORT] [--cluster ec2|palmetto|uniform:N:RATE:SLOTS] \
+         [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none] \
+         [--period SECS] [--epoch SECS] [--time-scale F] [--max-pending TASKS] \
+         [--no-feasibility]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cluster_name = "ec2".to_string();
+    let mut sched_name = "dsp".to_string();
+    let mut preempt_name = "dsp".to_string();
+    let mut params = Params::default();
+    let mut time_scale = 600.0_f64;
+    let mut admission = AdmissionConfig::default();
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = next(&mut i),
+            "--cluster" => cluster_name = next(&mut i),
+            "--sched" => sched_name = next(&mut i),
+            "--preempt" => preempt_name = next(&mut i),
+            "--period" => {
+                let secs: u64 = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if secs == 0 {
+                    usage();
+                }
+                params.sched_period = Dur::from_secs(secs);
+            }
+            "--epoch" => {
+                let secs: u64 = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if secs == 0 {
+                    usage();
+                }
+                params.epoch = Dur::from_secs(secs);
+            }
+            "--time-scale" => {
+                time_scale = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if time_scale.is_nan() || time_scale <= 0.0 {
+                    usage();
+                }
+            }
+            "--max-pending" => {
+                admission.max_pending_tasks = next(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--no-feasibility" => admission.check_feasibility = false,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let cluster = build_cluster(&cluster_name).unwrap_or_else(|| usage());
+    let scheduler = build_scheduler(&sched_name).unwrap_or_else(|| usage());
+    let policy = build_policy(&preempt_name, &params).unwrap_or_else(|| usage());
+
+    let driver = dsp_service::OnlineDriver::new(
+        cluster,
+        params.engine_config(),
+        params.sched_period,
+        scheduler,
+        policy,
+        admission,
+    );
+
+    let config = dsp_service::ServerConfig { addr, time_scale, tick: Duration::from_millis(10) };
+    let handle = match serve(driver, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dspd: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The smoke script and client tooling scrape this line for the port.
+    println!("dspd listening on {}", handle.addr);
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("dspd drained; exiting");
+}

@@ -1,0 +1,571 @@
+//! Domain ⇄ JSON codec for the wire protocol and on-disk artifacts.
+//!
+//! Every serialized artifact this workspace emits — job sets, schedules,
+//! execution traces, and service snapshots — is stamped with a
+//! `format_version` field so tools can refuse inputs they don't
+//! understand instead of misreading them. [`FORMAT_VERSION`] is the
+//! current version; bump it on any incompatible shape change.
+
+use crate::json::Json;
+use dsp_cluster::{ClusterSpec, Node, NodeId};
+use dsp_dag::{Dag, Job, JobClass, JobId, TaskId, TaskSpec};
+use dsp_metrics::RunMetrics;
+use dsp_sim::{Assignment, ExecHistory, JobProgress, Schedule, TaskHistory};
+use dsp_units::{Dur, Mi, ResourceVec, Time};
+use std::fmt;
+
+/// Current artifact / wire format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// A decode failure: the JSON was well-formed but not the expected shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, CodecError> {
+    v.get(key).ok_or_else(|| CodecError(format!("missing field '{key}'")))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, CodecError> {
+    field(v, key)?.as_u64().ok_or_else(|| CodecError(format!("field '{key}' must be a u64")))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, CodecError> {
+    field(v, key)?.as_f64().ok_or_else(|| CodecError(format!("field '{key}' must be a number")))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, CodecError> {
+    field(v, key)?.as_bool().ok_or_else(|| CodecError(format!("field '{key}' must be a bool")))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, CodecError> {
+    field(v, key)?.as_str().ok_or_else(|| CodecError(format!("field '{key}' must be a string")))
+}
+
+fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], CodecError> {
+    field(v, key)?.as_arr().ok_or_else(|| CodecError(format!("field '{key}' must be an array")))
+}
+
+fn time_field(v: &Json, key: &str) -> Result<Time, CodecError> {
+    Ok(Time::from_micros(u64_field(v, key)?))
+}
+
+fn dur_field(v: &Json, key: &str) -> Result<Dur, CodecError> {
+    Ok(Dur::from_micros(u64_field(v, key)?))
+}
+
+// ---------------------------------------------------------------- versioning
+
+/// Read the `format_version` stamp off an artifact.
+pub fn artifact_version(v: &Json) -> Result<u64, CodecError> {
+    u64_field(v, "format_version")
+}
+
+/// Reject artifacts from a future (or unknown past) format.
+pub fn check_version(v: &Json) -> Result<(), CodecError> {
+    let got = artifact_version(v)?;
+    if got != FORMAT_VERSION {
+        return err(format!(
+            "unsupported format_version {got} (this build reads version {FORMAT_VERSION}); \
+             re-export the artifact with a matching toolchain"
+        ));
+    }
+    Ok(())
+}
+
+fn stamp(kind: &str, mut fields: Vec<(&str, Json)>) -> Json {
+    fields.push(("format_version", Json::U64(FORMAT_VERSION)));
+    fields.push(("kind", Json::Str(kind.to_string())));
+    Json::obj(fields)
+}
+
+// --------------------------------------------------------------------- units
+
+fn resources_to_json(r: &ResourceVec) -> Json {
+    Json::obj(vec![
+        ("cpu", Json::F64(r.cpu)),
+        ("mem", Json::F64(r.mem)),
+        ("disk", Json::F64(r.disk)),
+        ("bw", Json::F64(r.bw)),
+    ])
+}
+
+fn resources_from_json(v: &Json) -> Result<ResourceVec, CodecError> {
+    Ok(ResourceVec::new(
+        f64_field(v, "cpu")?,
+        f64_field(v, "mem")?,
+        f64_field(v, "disk")?,
+        f64_field(v, "bw")?,
+    ))
+}
+
+// ---------------------------------------------------------------------- jobs
+
+fn class_to_str(c: JobClass) -> &'static str {
+    match c {
+        JobClass::Small => "Small",
+        JobClass::Medium => "Medium",
+        JobClass::Large => "Large",
+    }
+}
+
+fn class_from_str(s: &str) -> Result<JobClass, CodecError> {
+    match s {
+        "Small" => Ok(JobClass::Small),
+        "Medium" => Ok(JobClass::Medium),
+        "Large" => Ok(JobClass::Large),
+        other => err(format!("unknown job class '{other}'")),
+    }
+}
+
+fn task_spec_to_json(t: &TaskSpec) -> Json {
+    Json::obj(vec![
+        ("size", Json::F64(t.size.get())),
+        ("est_size", Json::F64(t.est_size.get())),
+        ("demand", resources_to_json(&t.demand)),
+        ("recovery", Json::U64(t.recovery.as_micros())),
+    ])
+}
+
+fn task_spec_from_json(v: &Json) -> Result<TaskSpec, CodecError> {
+    Ok(TaskSpec {
+        size: Mi::new(f64_field(v, "size")?),
+        est_size: Mi::new(f64_field(v, "est_size")?),
+        demand: resources_from_json(field(v, "demand")?)?,
+        recovery: dur_field(v, "recovery")?,
+    })
+}
+
+fn edges_from_json(v: &[Json], n: usize) -> Result<Dag, CodecError> {
+    let mut dag = Dag::new(n);
+    for e in v {
+        let pair = e.as_arr().filter(|p| p.len() == 2);
+        let pair = pair.ok_or_else(|| CodecError("edge must be a [from,to] pair".into()))?;
+        let from =
+            pair[0].as_u64().ok_or_else(|| CodecError("edge endpoint must be u64".into()))?;
+        let to = pair[1].as_u64().ok_or_else(|| CodecError("edge endpoint must be u64".into()))?;
+        if from >= n as u64 || to >= n as u64 {
+            return err(format!("edge ({from},{to}) out of range for {n} tasks"));
+        }
+        dag.add_edge(from as u32, to as u32)
+            .map_err(|e| CodecError(format!("bad edge ({from},{to}): {e:?}")))?;
+    }
+    Ok(dag)
+}
+
+/// Encode one job.
+pub fn job_to_json(job: &Job) -> Json {
+    Json::obj(vec![
+        ("id", Json::U64(u64::from(job.id.0))),
+        ("class", Json::Str(class_to_str(job.class).to_string())),
+        ("arrival", Json::U64(job.arrival.as_micros())),
+        ("deadline", Json::U64(job.deadline.as_micros())),
+        ("tasks", Json::Arr(job.tasks.iter().map(task_spec_to_json).collect())),
+        (
+            "edges",
+            Json::Arr(
+                job.dag
+                    .edges()
+                    .map(|(u, v)| Json::Arr(vec![Json::U64(u64::from(u)), Json::U64(u64::from(v))]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode one job (levels are recomputed by `Job::new`).
+pub fn job_from_json(v: &Json) -> Result<Job, CodecError> {
+    let id = u64_field(v, "id")?;
+    if id > u64::from(u32::MAX) {
+        return err(format!("job id {id} exceeds u32"));
+    }
+    let tasks: Vec<TaskSpec> =
+        arr_field(v, "tasks")?.iter().map(task_spec_from_json).collect::<Result<_, _>>()?;
+    if tasks.is_empty() {
+        return err("job has no tasks");
+    }
+    let dag = edges_from_json(arr_field(v, "edges")?, tasks.len())?;
+    Ok(Job::new(
+        JobId(id as u32),
+        class_from_str(str_field(v, "class")?)?,
+        time_field(v, "arrival")?,
+        time_field(v, "deadline")?,
+        tasks,
+        dag,
+    ))
+}
+
+/// Encode a job set as a versioned artifact.
+pub fn jobs_to_artifact(jobs: &[Job]) -> Json {
+    stamp("jobs", vec![("jobs", Json::Arr(jobs.iter().map(job_to_json).collect()))])
+}
+
+/// Decode a versioned job-set artifact.
+pub fn jobs_from_artifact(v: &Json) -> Result<Vec<Job>, CodecError> {
+    check_version(v)?;
+    arr_field(v, "jobs")?.iter().map(job_from_json).collect()
+}
+
+// ------------------------------------------------------------------ schedule
+
+fn assignment_to_json(a: &Assignment) -> Json {
+    Json::obj(vec![
+        ("job", Json::U64(u64::from(a.task.job.0))),
+        ("index", Json::U64(u64::from(a.task.index))),
+        ("node", Json::U64(u64::from(a.node.0))),
+        ("start", Json::U64(a.start.as_micros())),
+    ])
+}
+
+fn assignment_from_json(v: &Json) -> Result<Assignment, CodecError> {
+    Ok(Assignment {
+        task: TaskId {
+            job: JobId(u64_field(v, "job")? as u32),
+            index: u64_field(v, "index")? as u32,
+        },
+        node: NodeId(u64_field(v, "node")? as u32),
+        start: time_field(v, "start")?,
+    })
+}
+
+/// Encode a schedule as a versioned artifact.
+pub fn schedule_to_artifact(s: &Schedule) -> Json {
+    stamp(
+        "schedule",
+        vec![("assignments", Json::Arr(s.assignments.iter().map(assignment_to_json).collect()))],
+    )
+}
+
+/// Decode a versioned schedule artifact.
+pub fn schedule_from_artifact(v: &Json) -> Result<Schedule, CodecError> {
+    check_version(v)?;
+    let assignments =
+        arr_field(v, "assignments")?.iter().map(assignment_from_json).collect::<Result<_, _>>()?;
+    Ok(Schedule { assignments })
+}
+
+// ------------------------------------------------------------------- history
+
+fn task_history_to_json(t: &TaskHistory) -> Json {
+    Json::obj(vec![
+        ("job", Json::U64(u64::from(t.task.job.0))),
+        ("index", Json::U64(u64::from(t.task.index))),
+        ("node", Json::U64(u64::from(t.node.0))),
+        ("planned_start", Json::U64(t.planned_start.as_micros())),
+        ("finish", Json::U64(t.finish.as_micros())),
+        ("completed", Json::Bool(t.completed)),
+        ("preemptions", Json::U64(u64::from(t.preemptions))),
+        ("recovery_charges", Json::U64(u64::from(t.recovery_charges))),
+        ("overhead_paid", Json::U64(t.overhead_paid.as_micros())),
+        ("executed", Json::F64(t.executed.get())),
+        ("lost", Json::F64(t.lost.get())),
+        ("size", Json::F64(t.size.get())),
+        ("recovery", Json::U64(t.recovery.as_micros())),
+    ])
+}
+
+fn task_history_from_json(v: &Json) -> Result<TaskHistory, CodecError> {
+    Ok(TaskHistory {
+        task: TaskId {
+            job: JobId(u64_field(v, "job")? as u32),
+            index: u64_field(v, "index")? as u32,
+        },
+        node: NodeId(u64_field(v, "node")? as u32),
+        planned_start: time_field(v, "planned_start")?,
+        finish: time_field(v, "finish")?,
+        completed: bool_field(v, "completed")?,
+        preemptions: u64_field(v, "preemptions")? as u32,
+        recovery_charges: u64_field(v, "recovery_charges")? as u32,
+        overhead_paid: dur_field(v, "overhead_paid")?,
+        executed: Mi::new(f64_field(v, "executed")?),
+        lost: Mi::new(f64_field(v, "lost")?),
+        size: Mi::new(f64_field(v, "size")?),
+        recovery: dur_field(v, "recovery")?,
+    })
+}
+
+fn history_to_json(h: &ExecHistory) -> Json {
+    Json::obj(vec![
+        ("sigma", Json::U64(h.sigma.as_micros())),
+        ("tasks", Json::Arr(h.tasks.iter().map(task_history_to_json).collect())),
+    ])
+}
+
+fn history_from_json(v: &Json) -> Result<ExecHistory, CodecError> {
+    Ok(ExecHistory {
+        sigma: dur_field(v, "sigma")?,
+        tasks: arr_field(v, "tasks")?
+            .iter()
+            .map(task_history_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Encode an execution trace as a versioned artifact.
+pub fn trace_to_artifact(h: &ExecHistory) -> Json {
+    stamp("trace", vec![("history", history_to_json(h))])
+}
+
+/// Decode a versioned trace artifact.
+pub fn trace_from_artifact(v: &Json) -> Result<ExecHistory, CodecError> {
+    check_version(v)?;
+    history_from_json(field(v, "history")?)
+}
+
+// ------------------------------------------------------------------- cluster
+
+fn node_to_json(n: &Node) -> Json {
+    Json::obj(vec![
+        ("id", Json::U64(u64::from(n.id.0))),
+        ("s_cpu", Json::F64(n.s_cpu)),
+        ("s_mem", Json::F64(n.s_mem)),
+        ("capacity", resources_to_json(&n.capacity)),
+        ("slots", Json::U64(n.slots as u64)),
+        ("theta1", Json::F64(n.theta1)),
+        ("theta2", Json::F64(n.theta2)),
+    ])
+}
+
+fn node_from_json(v: &Json) -> Result<Node, CodecError> {
+    let mut node = Node::new(
+        NodeId(u64_field(v, "id")? as u32),
+        f64_field(v, "s_cpu")?,
+        f64_field(v, "s_mem")?,
+        resources_from_json(field(v, "capacity")?)?,
+        u64_field(v, "slots")? as usize,
+    );
+    node.theta1 = f64_field(v, "theta1")?;
+    node.theta2 = f64_field(v, "theta2")?;
+    Ok(node)
+}
+
+/// Encode a cluster inventory.
+pub fn cluster_to_json(c: &ClusterSpec) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(c.name.clone())),
+        ("nodes", Json::Arr(c.nodes.iter().map(node_to_json).collect())),
+    ])
+}
+
+/// Decode a cluster inventory.
+pub fn cluster_from_json(v: &Json) -> Result<ClusterSpec, CodecError> {
+    Ok(ClusterSpec {
+        name: str_field(v, "name")?.to_string(),
+        nodes: arr_field(v, "nodes")?.iter().map(node_from_json).collect::<Result<_, _>>()?,
+    })
+}
+
+// ------------------------------------------------------------------ progress
+
+/// Encode a job's live progress (wire `status` response payload).
+pub fn progress_to_json(p: &JobProgress) -> Json {
+    Json::obj(vec![
+        ("total", Json::U64(p.total as u64)),
+        ("finished", Json::U64(p.finished as u64)),
+        ("running", Json::U64(p.running as u64)),
+        ("waiting", Json::U64(p.waiting as u64)),
+        ("completed", Json::Bool(p.completed)),
+        (
+            "finish",
+            match p.finish {
+                Some(t) => Json::U64(t.as_micros()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+// ------------------------------------------------------------------- metrics
+
+/// Encode the headline metrics (wire `metrics` response payload).
+pub fn metrics_to_json(m: &RunMetrics) -> Json {
+    Json::obj(vec![
+        ("tasks_completed", Json::U64(m.tasks_completed)),
+        ("jobs_completed", Json::U64(m.jobs_completed() as u64)),
+        ("preemptions", Json::U64(m.preemptions)),
+        ("preemption_attempts", Json::U64(m.preemption_attempts())),
+        ("disorders", Json::U64(m.disorders)),
+        ("refusals", Json::U64(m.refusals)),
+        ("switch_overhead_us", Json::U64(m.switch_overhead.as_micros())),
+        ("end_time_us", Json::U64(m.end_time.as_micros())),
+        ("makespan_us", Json::U64(m.makespan().as_micros())),
+        ("deadline_hit_rate", Json::F64(m.deadline_hit_rate())),
+        ("node_failures", Json::U64(m.node_failures)),
+        ("fault_rescheduled", Json::U64(m.fault_rescheduled)),
+    ])
+}
+
+// ------------------------------------------------------------------ snapshot
+
+/// The drained state of a service run: everything `dsp verify` needs to
+/// audit the execution offline (jobs + schedule + cluster + trace), plus
+/// the headline metrics for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The cluster the service ran on.
+    pub cluster: ClusterSpec,
+    /// Every job admitted over the run, ascending id.
+    pub jobs: Vec<Job>,
+    /// The combined offline schedule (all period batches merged).
+    pub schedule: Schedule,
+    /// Per-task execution accounting.
+    pub history: ExecHistory,
+    /// Headline counters at drain time.
+    pub metrics: RunMetrics,
+}
+
+impl Snapshot {
+    /// Encode as a versioned artifact.
+    pub fn to_json(&self) -> Json {
+        stamp(
+            "snapshot",
+            vec![
+                ("cluster", cluster_to_json(&self.cluster)),
+                ("jobs", Json::Arr(self.jobs.iter().map(job_to_json).collect())),
+                (
+                    "schedule",
+                    Json::Arr(self.schedule.assignments.iter().map(assignment_to_json).collect()),
+                ),
+                ("history", history_to_json(&self.history)),
+                ("metrics", metrics_to_json(&self.metrics)),
+            ],
+        )
+    }
+
+    /// Decode a versioned snapshot artifact. Metrics are not decoded (they
+    /// are derived, human-facing output); verification needs only the
+    /// jobs/schedule/cluster/history quartet.
+    pub fn from_json(v: &Json) -> Result<Snapshot, CodecError> {
+        check_version(v)?;
+        let jobs: Vec<Job> =
+            arr_field(v, "jobs")?.iter().map(job_from_json).collect::<Result<_, _>>()?;
+        let assignments =
+            arr_field(v, "schedule")?.iter().map(assignment_from_json).collect::<Result<_, _>>()?;
+        Ok(Snapshot {
+            cluster: cluster_from_json(field(v, "cluster")?)?,
+            jobs,
+            schedule: Schedule { assignments },
+            history: history_from_json(field(v, "history")?)?,
+            metrics: RunMetrics::default(),
+        })
+    }
+
+    /// Audit the snapshot against the full rule set: R1–R4 on the schedule
+    /// (deadline misses are warnings) and R5–R6 on the execution history.
+    pub fn verify(&self) -> dsp_verify::Report {
+        let opts = dsp_verify::VerifyOptions::default();
+        let mut report =
+            dsp_verify::check_schedule(&self.schedule, &self.jobs, &self.cluster, &opts);
+        report.merge(dsp_verify::check_execution(&self.history, None));
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use dsp_units::Mips;
+
+    fn sample_job(id: u32) -> Job {
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        Job::new(
+            JobId(id),
+            JobClass::Small,
+            Time::from_secs(5),
+            Time::from_secs(900),
+            vec![
+                TaskSpec::sized(400.0),
+                TaskSpec::sized(700.0).with_estimate(Mi::new(650.0)),
+                TaskSpec::sized(300.0),
+            ],
+            dag,
+        )
+    }
+
+    #[test]
+    fn job_roundtrips_through_text() {
+        let job = sample_job(7);
+        let text = job_to_json(&job).to_string();
+        let back = job_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, job);
+        assert_eq!(back.levels(), job.levels(), "levels must be recomputed identically");
+    }
+
+    #[test]
+    fn unset_deadline_sentinel_survives() {
+        let mut dag_job = sample_job(0);
+        dag_job.deadline = Time::MAX;
+        let back = job_from_json(&parse(&job_to_json(&dag_job).to_string()).unwrap()).unwrap();
+        assert_eq!(back.deadline, Time::MAX);
+    }
+
+    #[test]
+    fn artifacts_are_stamped_and_checked() {
+        let jobs = vec![sample_job(0), sample_job(3)];
+        let art = jobs_to_artifact(&jobs);
+        assert_eq!(artifact_version(&art).unwrap(), FORMAT_VERSION);
+        assert_eq!(jobs_from_artifact(&art).unwrap(), jobs);
+
+        // A future version must be refused, not misread.
+        let mut bumped = match art {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        bumped.insert("format_version".into(), Json::U64(FORMAT_VERSION + 1));
+        let e = jobs_from_artifact(&Json::Obj(bumped)).unwrap_err();
+        assert!(e.0.contains("unsupported format_version"), "{e}");
+    }
+
+    #[test]
+    fn schedule_and_cluster_roundtrip() {
+        let mut s = Schedule::new();
+        s.assign(TaskId::new(0, 0), NodeId(1), Time::from_millis(250));
+        s.assign(TaskId::new(3, 2), NodeId(0), Time::from_secs(10));
+        let back =
+            schedule_from_artifact(&parse(&schedule_to_artifact(&s).to_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
+
+        let c = dsp_cluster::uniform(4, 2000.0, 2);
+        let back = cluster_from_json(&parse(&cluster_to_json(&c).to_string()).unwrap()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.node(NodeId(2)).rate(), Mips::new(2000.0));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_verifies() {
+        let cluster = dsp_cluster::uniform(2, 1000.0, 2);
+        let jobs = vec![sample_job(0)];
+        let mut schedule = Schedule::new();
+        // Root at 5 s (400 MI at 1000 MIPS = 0.4 s); children strictly
+        // after its planned finish so R2 precedence holds.
+        schedule.assign(TaskId::new(0, 0), NodeId(0), Time::from_secs(5));
+        schedule.assign(TaskId::new(0, 1), NodeId(1), Time::from_secs(6));
+        schedule.assign(TaskId::new(0, 2), NodeId(0), Time::from_secs(6));
+        let mut engine =
+            dsp_sim::Engine::new(jobs.clone(), cluster.clone(), dsp_sim::EngineConfig::default());
+        engine.add_batch(Time::from_secs(5), schedule.clone());
+        let metrics = engine.run(&mut dsp_sim::NoPreempt);
+        let snap = Snapshot { cluster, jobs, schedule, history: engine.history(), metrics };
+        assert!(snap.verify().passes(), "{:?}", snap.verify());
+
+        let back = Snapshot::from_json(&parse(&snap.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.jobs, snap.jobs);
+        assert_eq!(back.schedule, snap.schedule);
+        assert_eq!(back.history, snap.history);
+        assert!(back.verify().passes());
+    }
+}

@@ -1,0 +1,412 @@
+//! The online driver: an [`Engine`] advanced incrementally under a live
+//! admission queue.
+//!
+//! This is the paper's two-phase loop run as a *service* instead of a
+//! batch experiment: submissions buffer in a bounded pending queue, the
+//! offline scheduler fires at every `sched_period` boundary over exactly
+//! the jobs that arrived since the last one, the batch is placed onto the
+//! *partially busy* cluster (`schedule_onto` with per-node backlog), and
+//! between boundaries the engine's epoch preemption loop runs
+//! continuously. Drain flushes the queue, runs the simulation dry, and
+//! emits a self-contained [`Snapshot`] that `dsp verify` can audit.
+
+use crate::admission::{check_feasible, AdmissionConfig, AdmitError};
+use crate::codec::Snapshot;
+use dsp_dag::{validate_jobs, Dag, Job, JobClass, JobId, TaskSpec};
+use dsp_metrics::RunMetrics;
+use dsp_sim::{Engine, EngineConfig, FaultPlan, JobProgress, PreemptPolicy, Schedule};
+use dsp_units::{Dur, Time};
+
+/// A job as a client submits it: no id (the service assigns the next
+/// monotone [`JobId`]), no arrival (submission instant), and a deadline
+/// *relative* to submission (`None` = best-effort, no deadline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Size class label.
+    pub class: JobClass,
+    /// Deadline as an offset from the submission instant; `None` maps to
+    /// the `Time::MAX` "no deadline" sentinel.
+    pub deadline: Option<Dur>,
+    /// Task specifications.
+    pub tasks: Vec<TaskSpec>,
+    /// Dependency edges over the task indices.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl JobRequest {
+    /// Strip a fully-formed [`Job`] back to submission form: the id and
+    /// arrival are dropped (the service reassigns both) and the absolute
+    /// deadline becomes an offset from the job's own arrival. Lets
+    /// generated workloads (`dsp_trace::generate_workload`) be replayed
+    /// through the wire protocol.
+    pub fn from_job(job: &Job) -> JobRequest {
+        JobRequest {
+            class: job.class,
+            deadline: if job.deadline == Time::MAX {
+                None
+            } else {
+                Some(job.deadline.since(job.arrival))
+            },
+            tasks: job.tasks.clone(),
+            edges: job.dag.edges().collect(),
+        }
+    }
+
+    fn into_job(self, id: JobId, arrival: Time) -> Result<Job, AdmitError> {
+        if self.tasks.is_empty() {
+            return Err(AdmitError::Invalid(format!("job {} has no tasks", id.0)));
+        }
+        let n = self.tasks.len();
+        let mut dag = Dag::new(n);
+        for (u, v) in self.edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(AdmitError::Invalid(format!(
+                    "edge ({u},{v}) out of range for {n} tasks"
+                )));
+            }
+            dag.add_edge(u, v)
+                .map_err(|e| AdmitError::Invalid(format!("edge ({u},{v}): {e:?}")))?;
+        }
+        let deadline = match self.deadline {
+            Some(d) => arrival + d,
+            None => Time::MAX,
+        };
+        Ok(Job::new(id, self.class, arrival, deadline, self.tasks, dag))
+    }
+}
+
+/// Where a known job currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Buffered, waiting for the next scheduling-period boundary.
+    Pending,
+    /// Injected into the engine; live progress attached.
+    Active(JobProgress),
+}
+
+/// The long-running service core. Owns the engine, scheduler, and
+/// preemption policy; single-threaded by design (the server wraps it in a
+/// mutex and serializes access).
+pub struct OnlineDriver {
+    engine: Engine,
+    scheduler: Box<dyn dsp_sched::Scheduler + Send>,
+    policy: Box<dyn PreemptPolicy + Send>,
+    sched_period: Dur,
+    admission: AdmissionConfig,
+    /// Jobs admitted but not yet handed to the engine, ascending id.
+    pending: Vec<Job>,
+    pending_tasks: usize,
+    next_id: u32,
+    /// Estimated backlog horizon per node, maintained exactly like
+    /// `dsp_core::experiment::periodic_schedules` does offline.
+    busy_until: Vec<Time>,
+    next_boundary: Time,
+    /// All period batches merged — the offline plan `dsp verify` audits.
+    combined: Schedule,
+    draining: bool,
+    periods_elapsed: u64,
+    batches_scheduled: u64,
+}
+
+impl OnlineDriver {
+    /// Build a driver over an empty cluster-backed engine. `sched_period`
+    /// is the offline phase's cadence; the epoch cadence rides in `cfg`.
+    pub fn new(
+        cluster: dsp_cluster::ClusterSpec,
+        cfg: EngineConfig,
+        sched_period: Dur,
+        scheduler: Box<dyn dsp_sched::Scheduler + Send>,
+        policy: Box<dyn PreemptPolicy + Send>,
+        admission: AdmissionConfig,
+    ) -> Self {
+        assert!(!sched_period.is_zero(), "sched_period must be positive");
+        let nodes = cluster.len();
+        OnlineDriver {
+            engine: Engine::new(Vec::new(), cluster, cfg),
+            scheduler,
+            policy,
+            sched_period,
+            admission,
+            pending: Vec::new(),
+            pending_tasks: 0,
+            next_id: 0,
+            busy_until: vec![Time::ZERO; nodes],
+            next_boundary: Time::ZERO + sched_period,
+            combined: Schedule::new(),
+            draining: false,
+            periods_elapsed: 0,
+            batches_scheduled: 0,
+        }
+    }
+
+    /// Current simulation instant.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// The next scheduling-period boundary.
+    pub fn next_boundary(&self) -> Time {
+        self.next_boundary
+    }
+
+    /// Scheduling-period boundaries crossed so far.
+    pub fn periods_elapsed(&self) -> u64 {
+        self.periods_elapsed
+    }
+
+    /// Non-empty batches handed to the offline scheduler so far.
+    pub fn batches_scheduled(&self) -> u64 {
+        self.batches_scheduled
+    }
+
+    /// Tasks buffered in the pending queue.
+    pub fn pending_tasks(&self) -> usize {
+        self.pending_tasks
+    }
+
+    /// True once [`OnlineDriver::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Live counters.
+    pub fn metrics(&self) -> &RunMetrics {
+        self.engine.metrics()
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &dsp_cluster::ClusterSpec {
+        self.engine.cluster()
+    }
+
+    /// Submit a batch of job requests. All-or-nothing: either every job
+    /// in the batch is admitted (ids returned, ascending) or none is.
+    pub fn submit(&mut self, requests: Vec<JobRequest>) -> Result<Vec<JobId>, AdmitError> {
+        if self.draining {
+            return Err(AdmitError::Draining);
+        }
+        if requests.is_empty() {
+            return Err(AdmitError::Invalid("empty submission batch".into()));
+        }
+        let new_tasks: usize = requests.iter().map(|r| r.tasks.len()).sum();
+        if self.pending_tasks + new_tasks > self.admission.max_pending_tasks {
+            return Err(AdmitError::Backpressure {
+                pending_tasks: self.pending_tasks,
+                limit: self.admission.max_pending_tasks,
+            });
+        }
+        let arrival = self.now();
+        let mut jobs = Vec::with_capacity(requests.len());
+        for (k, req) in requests.into_iter().enumerate() {
+            jobs.push(req.into_job(JobId(self.next_id + k as u32), arrival)?);
+        }
+        validate_jobs(&jobs).map_err(|e| AdmitError::Invalid(format!("{e:?}")))?;
+        if self.admission.check_feasibility {
+            check_feasible(&jobs, self.engine.cluster(), self.next_boundary)?;
+        }
+        let ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+        self.next_id += jobs.len() as u32;
+        self.pending_tasks += new_tasks;
+        self.pending.extend(jobs);
+        Ok(ids)
+    }
+
+    /// Where does `id` stand right now? `None` for ids never admitted.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        if self.pending.iter().any(|j| j.id == id) {
+            return Some(JobStatus::Pending);
+        }
+        self.engine.job_progress(id).map(JobStatus::Active)
+    }
+
+    /// Inject a fault plan into the live engine (instants in the past are
+    /// clamped to "now" by the engine).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.engine.add_faults(plan);
+    }
+
+    /// Advance simulation time to `t`, crossing every scheduling-period
+    /// boundary on the way: at each boundary the pending batch is
+    /// scheduled onto the backlogged cluster and injected; between
+    /// boundaries the engine runs its epoch preemption loop.
+    pub fn advance_to(&mut self, t: Time) {
+        while self.next_boundary <= t {
+            let boundary = self.next_boundary;
+            self.engine.step_until(self.policy.as_mut(), boundary);
+            self.flush_pending_at(boundary);
+            self.periods_elapsed += 1;
+            self.next_boundary = boundary + self.sched_period;
+        }
+        self.engine.step_until(self.policy.as_mut(), t);
+    }
+
+    /// Schedule and inject the pending batch at instant `at` (a period
+    /// boundary, or "now" during drain). No-op when the queue is empty.
+    fn flush_pending_at(&mut self, at: Time) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.pending_tasks = 0;
+        let schedule =
+            self.scheduler.schedule_onto(&batch, self.engine.cluster(), at, &self.busy_until);
+        for a in &schedule.assignments {
+            // The batch is small (one period's arrivals) and sorted by id;
+            // a linear probe is fine here.
+            if let Some(job) = batch.iter().find(|j| j.id == a.task.job) {
+                let rate = self.engine.cluster().node(a.node).rate();
+                let fin = a.start + job.task(a.task.index).est_exec_time(rate);
+                let slot = &mut self.busy_until[a.node.idx()];
+                *slot = (*slot).max(fin);
+            }
+        }
+        self.engine.add_jobs(batch);
+        self.engine.add_batch(at, schedule.clone());
+        self.combined.extend(schedule);
+        self.batches_scheduled += 1;
+    }
+
+    /// Stop admitting, flush the queue immediately, run the simulation
+    /// dry, and return the final auditable snapshot.
+    pub fn drain(&mut self) -> Snapshot {
+        self.draining = true;
+        let now = self.now();
+        self.flush_pending_at(now);
+        self.engine.step_until(self.policy.as_mut(), Time::MAX);
+        self.snapshot()
+    }
+
+    /// The current auditable state: jobs injected so far, the merged
+    /// offline plan, execution history, and live metrics. During a run
+    /// the history contains incomplete tasks; after [`OnlineDriver::drain`]
+    /// it is final.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cluster: self.engine.cluster().clone(),
+            jobs: self.engine.jobs().to_vec(),
+            schedule: self.combined.clone(),
+            history: self.engine.history(),
+            metrics: self.engine.metrics().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_cluster::uniform;
+    use dsp_preempt::DspPolicy;
+    use dsp_sched::DspListScheduler;
+    use dsp_units::Mi;
+
+    fn driver(max_pending: usize) -> OnlineDriver {
+        let cfg = EngineConfig {
+            epoch: Dur::from_secs(5),
+            sigma: Dur::from_millis(50),
+            max_time: Time::from_secs(24 * 3600),
+            lookahead: 4,
+        };
+        let params = dsp_core::config::Params::default();
+        OnlineDriver::new(
+            uniform(4, 1000.0, 2),
+            cfg,
+            Dur::from_secs(300),
+            Box::new(DspListScheduler::default()),
+            Box::new(DspPolicy::new(params.dsp_params(true))),
+            AdmissionConfig { max_pending_tasks: max_pending, check_feasibility: true },
+        )
+    }
+
+    fn chain_request(n: usize, mi: f64, deadline: Option<Dur>) -> JobRequest {
+        JobRequest {
+            class: JobClass::Small,
+            deadline,
+            tasks: vec![TaskSpec::sized(mi); n],
+            edges: (1..n as u32).map(|v| (v - 1, v)).collect(),
+        }
+    }
+
+    #[test]
+    fn jobs_flow_through_period_boundaries() {
+        let mut d = driver(1000);
+        let ids = d.submit(vec![chain_request(4, 500.0, None)]).unwrap();
+        assert_eq!(ids, vec![JobId(0)]);
+        assert_eq!(d.status(JobId(0)), Some(JobStatus::Pending));
+
+        // Nothing is scheduled before the boundary...
+        d.advance_to(Time::from_secs(299));
+        assert_eq!(d.status(JobId(0)), Some(JobStatus::Pending));
+        // ...and the batch goes live at it.
+        d.advance_to(Time::from_secs(301));
+        assert!(matches!(d.status(JobId(0)), Some(JobStatus::Active(_))));
+        assert_eq!(d.batches_scheduled(), 1);
+
+        // 4 chained 500 ms tasks finish well before the next boundary.
+        d.advance_to(Time::from_secs(400));
+        match d.status(JobId(0)) {
+            Some(JobStatus::Active(p)) => assert!(p.completed, "{p:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn backpressure_sheds_oversized_batches() {
+        let mut d = driver(6);
+        d.submit(vec![chain_request(4, 100.0, None)]).unwrap();
+        let err = d.submit(vec![chain_request(4, 100.0, None)]).unwrap_err();
+        assert_eq!(err.reason(), "backpressure");
+        // The queue drains at the boundary and capacity returns.
+        d.advance_to(Time::from_secs(300));
+        d.submit(vec![chain_request(4, 100.0, None)]).unwrap();
+    }
+
+    #[test]
+    fn infeasible_deadline_is_rejected_before_queueing() {
+        let mut d = driver(1000);
+        // Critical path ~40 s, but the deadline lands before the first
+        // boundary can even fire.
+        let err = d.submit(vec![chain_request(40, 1000.0, Some(Dur::from_secs(10)))]).unwrap_err();
+        assert_eq!(err.reason(), "infeasible");
+        assert_eq!(d.pending_tasks(), 0, "rejected batch must not occupy the queue");
+    }
+
+    #[test]
+    fn submissions_after_drain_are_refused() {
+        let mut d = driver(1000);
+        d.submit(vec![chain_request(3, 200.0, None)]).unwrap();
+        let snap = d.drain();
+        assert!(snap.verify().passes(), "{:?}", snap.verify());
+        assert_eq!(snap.jobs.len(), 1);
+        assert!(snap.history.tasks.iter().all(|t| t.completed));
+        let err = d.submit(vec![chain_request(1, 100.0, None)]).unwrap_err();
+        assert_eq!(err.reason(), "draining");
+    }
+
+    #[test]
+    fn invalid_batches_are_all_or_nothing() {
+        let mut d = driver(1000);
+        let good = chain_request(2, 100.0, None);
+        let bad = JobRequest {
+            class: JobClass::Small,
+            deadline: None,
+            tasks: vec![TaskSpec::sized(100.0)],
+            edges: vec![(0, 5)],
+        };
+        let err = d.submit(vec![good, bad]).unwrap_err();
+        assert_eq!(err.reason(), "invalid");
+        assert_eq!(d.pending_tasks(), 0);
+        // Ids were not burned: the next admit still starts at 0.
+        let ids = d.submit(vec![chain_request(1, 100.0, None)]).unwrap();
+        assert_eq!(ids, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn estimate_only_requests_still_admit() {
+        let mut d = driver(1000);
+        let mut req = chain_request(2, 100.0, None);
+        req.tasks[0] = TaskSpec::sized(100.0).with_estimate(Mi::new(150.0));
+        d.submit(vec![req]).unwrap();
+        let snap = d.drain();
+        assert!(snap.verify().passes());
+    }
+}

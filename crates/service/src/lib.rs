@@ -1,0 +1,106 @@
+//! `dsp-service`: the DSP pipeline run as a long-lived online service.
+//!
+//! The rest of the workspace executes the paper's two-phase loop as a
+//! closed batch experiment: all jobs known up front, one engine run, one
+//! metrics report. This crate runs the *same* components — offline
+//! scheduler at every `sched_period` boundary, epoch preemption loop in
+//! between — against a stream of submissions arriving over a socket
+//! (DESIGN.md §10):
+//!
+//! * [`driver::OnlineDriver`] — owns the incremental [`dsp_sim::Engine`],
+//!   buffers submissions, batch-schedules them at period boundaries onto
+//!   the partially-busy cluster, and drains to an auditable snapshot;
+//! * [`admission`] — bounded pending queue with load shedding, plus a
+//!   deadline-feasibility pre-check that refuses definitely-hopeless
+//!   jobs at the door;
+//! * [`wire`] — the newline-delimited JSON protocol (`submit`, `status`,
+//!   `metrics`, `snapshot`, `drain`);
+//! * [`server`] — `std::net` TCP front end (`dspd`) and a minimal
+//!   blocking [`server::Client`];
+//! * [`json`] / [`codec`] — a dependency-free JSON kernel and the
+//!   versioned artifact format (`format_version` stamps) shared with the
+//!   `dsp` CLI's dump/verify paths.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod admission;
+pub mod codec;
+pub mod driver;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use admission::{AdmissionConfig, AdmitError};
+pub use codec::{Snapshot, FORMAT_VERSION};
+pub use driver::{JobRequest, JobStatus, OnlineDriver};
+pub use server::{serve, Client, ServerConfig, ServerHandle};
+
+use dsp_core::config::Params;
+
+/// Instantiate an offline scheduler by its CLI name. The service layer
+/// needs `Send` (the driver crosses a thread boundary), which rules out
+/// nothing in practice — every scheduler here is plain owned data.
+pub fn build_scheduler(name: &str) -> Option<Box<dyn dsp_sched::Scheduler + Send>> {
+    match name {
+        "dsp" => Some(Box::new(dsp_sched::DspListScheduler::default())),
+        "fifo" => Some(Box::new(dsp_sched::FifoScheduler)),
+        "tetris" => Some(Box::new(dsp_sched::TetrisScheduler::with_simple_dep())),
+        "tetris-wodep" => Some(Box::new(dsp_sched::TetrisScheduler::without_dep())),
+        "aalo" => Some(Box::new(dsp_sched::AaloScheduler::default())),
+        _ => None,
+    }
+}
+
+/// Instantiate a preemption policy by its CLI name.
+pub fn build_policy(name: &str, params: &Params) -> Option<Box<dyn dsp_sim::PreemptPolicy + Send>> {
+    match name {
+        "dsp" => Some(Box::new(dsp_preempt::DspPolicy::new(params.dsp_params(true)))),
+        "dsp-wopp" => Some(Box::new(dsp_preempt::DspPolicy::new(params.dsp_params(false)))),
+        "none" => Some(Box::new(dsp_sim::NoPreempt)),
+        _ => None,
+    }
+}
+
+/// Instantiate a cluster profile by its CLI name: `ec2`, `palmetto`, or
+/// `uniform:<nodes>:<rate>:<slots>`.
+pub fn build_cluster(name: &str) -> Option<dsp_cluster::ClusterSpec> {
+    match name {
+        "ec2" => Some(dsp_cluster::ec2()),
+        "palmetto" => Some(dsp_cluster::palmetto()),
+        other => {
+            let mut parts = other.split(':');
+            if parts.next()? != "uniform" {
+                return None;
+            }
+            let nodes: usize = parts.next()?.parse().ok()?;
+            let rate: f64 = parts.next()?.parse().ok()?;
+            let slots: usize = parts.next()?.parse().ok()?;
+            if parts.next().is_some() || nodes == 0 || rate <= 0.0 {
+                return None;
+            }
+            Some(dsp_cluster::uniform(nodes, rate, slots))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_cover_the_cli_names() {
+        for s in ["dsp", "fifo", "tetris", "tetris-wodep", "aalo"] {
+            assert!(build_scheduler(s).is_some(), "{s}");
+        }
+        assert!(build_scheduler("warp").is_none());
+        let p = Params::default();
+        for name in ["dsp", "dsp-wopp", "none"] {
+            assert!(build_policy(name, &p).is_some(), "{name}");
+        }
+        assert!(build_policy("warp", &p).is_none());
+        assert_eq!(build_cluster("ec2").map(|c| c.len()), Some(30));
+        assert_eq!(build_cluster("uniform:4:1000:2").map(|c| c.len()), Some(4));
+        assert!(build_cluster("uniform:0:1000:2").is_none());
+        assert!(build_cluster("warp").is_none());
+    }
+}

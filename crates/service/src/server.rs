@@ -1,0 +1,270 @@
+//! The TCP front end: accept loop, per-connection threads, and the clock
+//! that maps wall time onto simulation time.
+//!
+//! Concurrency model: one listener thread accepts connections and spawns a
+//! handler thread per client; one ticker thread advances the shared
+//! [`OnlineDriver`] so scheduling periods and preemption epochs fire even
+//! while no client is talking. All of them serialize on a single
+//! `parking_lot::Mutex<OnlineDriver>` — the driver is cheap per call and
+//! the contention domain is tiny, so a coarse lock beats a channel
+//! architecture here.
+//!
+//! **Time**: the simulation clock runs at `time_scale` simulated seconds
+//! per wall second. The paper's cadences (300 s scheduling period, 5 s
+//! epoch) would make interactive use glacial in real time; a scale of,
+//! say, 600 crosses a scheduling period every half wall-second while
+//! keeping event order identical to an offline run at the same instants.
+
+use crate::driver::OnlineDriver;
+use crate::wire;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (the bound address
+    /// is reported on the returned handle).
+    pub addr: String,
+    /// Simulated seconds per wall-clock second.
+    pub time_scale: f64,
+    /// Wall interval between driver advances.
+    pub tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 600.0,
+            tick: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A running service instance.
+pub struct ServerHandle {
+    /// The actually-bound address (resolves ephemeral ports).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    ticker_thread: Option<JoinHandle<()>>,
+}
+
+struct Shared {
+    driver: Mutex<OnlineDriver>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Boot the service: bind, start the clock, start accepting.
+pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared { driver: Mutex::new(driver), shutdown: AtomicBool::new(false) });
+
+    let ticker_thread = {
+        let shared = Arc::clone(&shared);
+        let scale = config.time_scale.max(0.0);
+        let tick = config.tick.max(Duration::from_millis(1));
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while !shared.stopping() {
+                std::thread::sleep(tick);
+                let target = dsp_units::Time::from_secs_f64(start.elapsed().as_secs_f64() * scale);
+                let mut driver = shared.driver.lock();
+                if driver.is_draining() {
+                    break;
+                }
+                driver.advance_to(target);
+            }
+        })
+    };
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !shared.stopping() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&shared);
+                        handlers.push(std::thread::spawn(move || handle_client(stream, &shared)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        ticker_thread: Some(ticker_thread),
+    })
+}
+
+fn handle_client(stream: TcpStream, shared: &Shared) {
+    // Connection I/O errors just drop the client; the service lives on.
+    // The read timeout keeps idle connections from pinning the shutdown
+    // join: the loop wakes periodically to check the stop flag.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        // `read_line` appends what it managed to read before a timeout, so
+        // `buf` accumulates across retries and is only cleared per line.
+        match reader.read_line(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stopping() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let line = std::mem::take(&mut buf);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match wire::parse_request(&line) {
+            Ok(request) => {
+                let mut driver = shared.driver.lock();
+                wire::handle(&mut driver, request)
+            }
+            Err(msg) => {
+                wire::Response { body: wire::error_response("bad_request", &msg), shutdown: false }
+            }
+        };
+        let mut text = response.body.to_string();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if response.shutdown {
+            shared.stop();
+            break;
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Has a drain (or explicit shutdown) been requested?
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Request shutdown without draining (pending work is discarded).
+    pub fn shutdown(&self) {
+        self.shared.stop();
+    }
+
+    /// Block until the accept loop and clock exit (after a `drain`
+    /// request or [`ServerHandle::shutdown`]).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.stop();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Minimal blocking client for the line protocol — what `dsp submit/
+/// status/metrics/drain` and the tests use.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running service.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request line, wait for the response line.
+    pub fn call(&mut self, request: &crate::json::Json) -> std::io::Result<crate::json::Json> {
+        let mut text = request.to_string();
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            ));
+        }
+        crate::json::parse(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Send a raw pre-serialized line (for tools forwarding stdin).
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<crate::json::Json> {
+        let mut text = line.trim().to_string();
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            ));
+        }
+        crate::json::parse(&reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

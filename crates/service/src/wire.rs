@@ -1,0 +1,443 @@
+//! The wire protocol: newline-delimited JSON request/response framing.
+//!
+//! One request per line, one response line per request, in order.
+//! Requests are objects with an `"op"` discriminator:
+//!
+//! | op         | fields                      | success payload              |
+//! |------------|-----------------------------|------------------------------|
+//! | `ping`     | —                           | `pong: true`                 |
+//! | `submit`   | `jobs: [JobRequest…]`       | `ids: [u32…]`                |
+//! | `status`   | `job: u32`                  | `state`, `progress?`         |
+//! | `metrics`  | —                           | `now_us`, counters, `metrics`|
+//! | `snapshot` | —                           | `snapshot` (versioned)       |
+//! | `drain`    | —                           | `snapshot`; server shuts down|
+//!
+//! Every response carries `"ok": bool`; failures add a stable `"reason"`
+//! token (`bad_request`, `backpressure`, `infeasible`, `invalid`,
+//! `draining`, `unknown_job`) and a human-readable `"error"` string.
+//!
+//! A `JobRequest` is `{class?, deadline_us?, tasks: […], edges: [[u,v]…]}`
+//! where each task is `{size, est_size?, recovery_us?, demand?}` — only
+//! `size` (MI) is required; demand defaults to unit CPU/mem.
+
+use crate::codec;
+use crate::driver::{JobRequest, JobStatus, OnlineDriver};
+use crate::json::{parse, Json};
+use dsp_dag::{JobClass, JobId, TaskSpec};
+use dsp_units::{Dur, Mi, ResourceVec};
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Admit a batch of jobs.
+    Submit(Vec<JobRequest>),
+    /// Query one job's progress.
+    Status(JobId),
+    /// Headline service counters.
+    Metrics,
+    /// Current auditable state (mid-run; history may be partial).
+    Snapshot,
+    /// Flush, run dry, return the final snapshot, and stop the service.
+    Drain,
+}
+
+fn bad(msg: impl Into<String>) -> String {
+    msg.into()
+}
+
+fn task_from_request(v: &Json) -> Result<TaskSpec, String> {
+    let size = v
+        .get("size")
+        .and_then(Json::as_f64)
+        .filter(|s| *s > 0.0)
+        .ok_or_else(|| bad("task 'size' (MI, positive number) is required"))?;
+    let mut spec = TaskSpec::new(
+        Mi::new(size),
+        match v.get("demand") {
+            Some(d) => ResourceVec::new(
+                d.get("cpu").and_then(Json::as_f64).unwrap_or(1.0),
+                d.get("mem").and_then(Json::as_f64).unwrap_or(1.0),
+                d.get("disk").and_then(Json::as_f64).unwrap_or(0.0),
+                d.get("bw").and_then(Json::as_f64).unwrap_or(0.0),
+            ),
+            None => ResourceVec::cpu_mem(1.0, 1.0),
+        },
+    );
+    if let Some(est) = v.get("est_size").and_then(Json::as_f64) {
+        spec = spec.with_estimate(Mi::new(est));
+    }
+    if let Some(rec) = v.get("recovery_us").and_then(Json::as_u64) {
+        spec.recovery = Dur::from_micros(rec);
+    }
+    Ok(spec)
+}
+
+fn job_request_from_json(v: &Json) -> Result<JobRequest, String> {
+    let class = match v.get("class") {
+        None => JobClass::Small,
+        Some(c) => match c.as_str() {
+            Some("Small") => JobClass::Small,
+            Some("Medium") => JobClass::Medium,
+            Some("Large") => JobClass::Large,
+            _ => return Err(bad("'class' must be one of Small|Medium|Large")),
+        },
+    };
+    let deadline = match v.get("deadline_us") {
+        None | Some(Json::Null) => None,
+        Some(d) => {
+            Some(Dur::from_micros(d.as_u64().ok_or_else(|| bad("'deadline_us' must be a u64"))?))
+        }
+    };
+    let tasks = v
+        .get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("'tasks' array is required"))?
+        .iter()
+        .map(task_from_request)
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut edges = Vec::new();
+    if let Some(raw) = v.get("edges") {
+        let raw = raw.as_arr().ok_or_else(|| bad("'edges' must be an array"))?;
+        for e in raw {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let pair = pair.ok_or_else(|| bad("each edge must be a [from,to] pair"))?;
+            let u = pair[0].as_u64().ok_or_else(|| bad("edge endpoints must be u64"))?;
+            let v2 = pair[1].as_u64().ok_or_else(|| bad("edge endpoints must be u64"))?;
+            if u > u64::from(u32::MAX) || v2 > u64::from(u32::MAX) {
+                return Err(bad("edge endpoint exceeds u32"));
+            }
+            edges.push((u as u32, v2 as u32));
+        }
+    }
+    Ok(JobRequest { class, deadline, tasks, edges })
+}
+
+/// Encode a [`JobRequest`] in the submit-request shape (the inverse of
+/// the decoder above) — used by client tooling to build `submit` lines.
+pub fn job_request_to_json(r: &JobRequest) -> Json {
+    Json::obj(vec![
+        (
+            "class",
+            Json::Str(
+                match r.class {
+                    JobClass::Small => "Small",
+                    JobClass::Medium => "Medium",
+                    JobClass::Large => "Large",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "deadline_us",
+            match r.deadline {
+                Some(d) => Json::U64(d.as_micros()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "tasks",
+            Json::Arr(
+                r.tasks
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("size", Json::F64(t.size.get())),
+                            ("est_size", Json::F64(t.est_size.get())),
+                            ("recovery_us", Json::U64(t.recovery.as_micros())),
+                            (
+                                "demand",
+                                Json::obj(vec![
+                                    ("cpu", Json::F64(t.demand.cpu)),
+                                    ("mem", Json::F64(t.demand.mem)),
+                                    ("disk", Json::F64(t.demand.disk)),
+                                    ("bw", Json::F64(t.demand.bw)),
+                                ]),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "edges",
+            Json::Arr(
+                r.edges
+                    .iter()
+                    .map(|(u, v)| {
+                        Json::Arr(vec![Json::U64(u64::from(*u)), Json::U64(u64::from(*v))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Build a complete `submit` request line from job requests.
+pub fn submit_request(jobs: &[JobRequest]) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("submit".into())),
+        ("jobs", Json::Arr(jobs.iter().map(job_request_to_json).collect())),
+    ])
+}
+
+/// Decode one request line. `Err` carries a human-readable message the
+/// server wraps in a `bad_request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line.trim()).map_err(|e| format!("malformed JSON: {e}"))?;
+    let op = v.get("op").and_then(Json::as_str).ok_or_else(|| bad("missing 'op' field"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "submit" => {
+            let jobs = v
+                .get("jobs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("'jobs' array is required"))?
+                .iter()
+                .map(job_request_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Submit(jobs))
+        }
+        "status" => {
+            let id = v
+                .get("job")
+                .and_then(Json::as_u64)
+                .filter(|id| *id <= u64::from(u32::MAX))
+                .ok_or_else(|| bad("'job' (u32 id) is required"))?;
+            Ok(Request::Status(JobId(id as u32)))
+        }
+        "metrics" => Ok(Request::Metrics),
+        "snapshot" => Ok(Request::Snapshot),
+        "drain" => Ok(Request::Drain),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Build a failure response line.
+pub fn error_response(reason: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("reason", Json::Str(reason.to_string())),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// The outcome of executing one request.
+pub struct Response {
+    /// The response document (one line once serialized).
+    pub body: Json,
+    /// True when the request was `drain`: the server should stop
+    /// accepting connections after writing this response.
+    pub shutdown: bool,
+}
+
+/// Execute a request against the driver. The caller holds the driver
+/// lock; simulation time is advanced by the server's clock tick, not
+/// here (except `drain`, which runs the simulation dry).
+pub fn handle(driver: &mut OnlineDriver, request: Request) -> Response {
+    match request {
+        Request::Ping => Response {
+            body: Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("pong", Json::Bool(true)),
+                ("now_us", Json::U64(driver.now().as_micros())),
+            ]),
+            shutdown: false,
+        },
+        Request::Submit(requests) => match driver.submit(requests) {
+            Ok(ids) => Response {
+                body: Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("ids", Json::Arr(ids.iter().map(|id| Json::U64(u64::from(id.0))).collect())),
+                    ("next_boundary_us", Json::U64(driver.next_boundary().as_micros())),
+                ]),
+                shutdown: false,
+            },
+            Err(e) => {
+                Response { body: error_response(e.reason(), &e.to_string()), shutdown: false }
+            }
+        },
+        Request::Status(id) => match driver.status(id) {
+            Some(JobStatus::Pending) => Response {
+                body: Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::U64(u64::from(id.0))),
+                    ("state", Json::Str("pending".into())),
+                ]),
+                shutdown: false,
+            },
+            Some(JobStatus::Active(progress)) => Response {
+                body: Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::U64(u64::from(id.0))),
+                    ("state", Json::Str("active".into())),
+                    ("progress", codec::progress_to_json(&progress)),
+                ]),
+                shutdown: false,
+            },
+            None => Response {
+                body: error_response("unknown_job", &format!("job {} was never admitted", id.0)),
+                shutdown: false,
+            },
+        },
+        Request::Metrics => Response {
+            body: Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("now_us", Json::U64(driver.now().as_micros())),
+                ("periods_elapsed", Json::U64(driver.periods_elapsed())),
+                ("batches_scheduled", Json::U64(driver.batches_scheduled())),
+                ("pending_tasks", Json::U64(driver.pending_tasks() as u64)),
+                ("draining", Json::Bool(driver.is_draining())),
+                ("metrics", codec::metrics_to_json(driver.metrics())),
+            ]),
+            shutdown: false,
+        },
+        Request::Snapshot => Response {
+            body: Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("snapshot", driver.snapshot().to_json()),
+            ]),
+            shutdown: false,
+        },
+        Request::Drain => {
+            let snapshot = driver.drain();
+            Response {
+                body: Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("draining", Json::Bool(true)),
+                    ("snapshot", snapshot.to_json()),
+                ]),
+                shutdown: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+    use dsp_cluster::uniform;
+    use dsp_preempt::DspPolicy;
+    use dsp_sched::DspListScheduler;
+    use dsp_sim::EngineConfig;
+    use dsp_units::Time;
+
+    fn driver() -> OnlineDriver {
+        let params = dsp_core::config::Params::default();
+        OnlineDriver::new(
+            uniform(4, 1000.0, 2),
+            EngineConfig {
+                epoch: Dur::from_secs(5),
+                sigma: Dur::from_millis(50),
+                max_time: Time::from_secs(24 * 3600),
+                lookahead: 4,
+            },
+            Dur::from_secs(300),
+            Box::new(DspListScheduler::default()),
+            Box::new(DspPolicy::new(params.dsp_params(true))),
+            AdmissionConfig::default(),
+        )
+    }
+
+    #[test]
+    fn parses_the_full_verb_set() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
+        assert_eq!(parse_request(r#"{"op":"snapshot"}"#).unwrap(), Request::Snapshot);
+        assert_eq!(parse_request(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
+        assert_eq!(parse_request(r#"{"op":"status","job":3}"#).unwrap(), Request::Status(JobId(3)));
+        let req = parse_request(
+            r#"{"op":"submit","jobs":[{"class":"Medium","deadline_us":5000000,
+                "tasks":[{"size":100},{"size":200,"est_size":180}],"edges":[[0,1]]}]}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Submit(jobs) => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(jobs[0].class, JobClass::Medium);
+                assert_eq!(jobs[0].deadline, Some(Dur::from_secs(5)));
+                assert_eq!(jobs[0].tasks.len(), 2);
+                assert_eq!(jobs[0].tasks[1].est_size, Mi::new(180.0));
+                assert_eq!(jobs[0].edges, vec![(0, 1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"no_op":1}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"status"}"#,
+            r#"{"op":"submit","jobs":[{"tasks":[{"size":-5}]}]}"#,
+            r#"{"op":"submit","jobs":[{"tasks":[{}]}]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn submit_status_drain_over_the_handler() {
+        let mut d = driver();
+        let r = handle(
+            &mut d,
+            parse_request(
+                r#"{"op":"submit","jobs":[{"tasks":[{"size":500},{"size":500}],"edges":[[0,1]]}]}"#,
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.body.get("ok"), Some(&Json::Bool(true)));
+        assert!(!r.shutdown);
+
+        let r = handle(&mut d, Request::Status(JobId(0)));
+        assert_eq!(r.body.get("state").and_then(Json::as_str), Some("pending"));
+        let r = handle(&mut d, Request::Status(JobId(99)));
+        assert_eq!(r.body.get("reason").and_then(Json::as_str), Some("unknown_job"));
+
+        let r = handle(&mut d, Request::Drain);
+        assert!(r.shutdown);
+        let snap = r.body.get("snapshot").expect("snapshot attached");
+        let decoded = crate::codec::Snapshot::from_json(snap).unwrap();
+        assert_eq!(decoded.jobs.len(), 1);
+        assert!(decoded.verify().passes(), "{:?}", decoded.verify());
+
+        // Post-drain submissions surface the stable reason token.
+        let r = handle(
+            &mut d,
+            parse_request(r#"{"op":"submit","jobs":[{"tasks":[{"size":1}]}]}"#).unwrap(),
+        );
+        assert_eq!(r.body.get("reason").and_then(Json::as_str), Some("draining"));
+    }
+
+    #[test]
+    fn job_request_encoding_roundtrips() {
+        let requests = vec![JobRequest {
+            class: JobClass::Large,
+            deadline: Some(Dur::from_secs(120)),
+            tasks: vec![
+                TaskSpec::sized(300.0).with_estimate(Mi::new(250.0)),
+                TaskSpec::sized(400.0),
+            ],
+            edges: vec![(0, 1)],
+        }];
+        let line = submit_request(&requests).to_string();
+        match parse_request(&line).unwrap() {
+            Request::Submit(back) => assert_eq!(back, requests),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let mut d = driver();
+        let r = handle(&mut d, Request::Metrics);
+        let line = r.body.to_string();
+        assert!(!line.contains('\n'));
+        assert!(parse(&line).is_ok());
+    }
+}

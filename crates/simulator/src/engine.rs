@@ -4,9 +4,10 @@ use crate::policy::{NodeView, PreemptAction, PreemptPolicy, TaskSnapshot, WorldC
 use crate::schedule::Schedule;
 use crate::state::{NodeRt, RtState, TaskIndex, TaskRt};
 use dsp_cluster::ClusterSpec;
-use dsp_dag::{deadline::level_deadlines, Job};
+use dsp_dag::{deadline::level_deadlines, Job, JobId};
 use dsp_metrics::{JobOutcome, RunMetrics};
 use dsp_units::{Dur, Mi, Time};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -62,11 +63,30 @@ enum Ev {
 
 type HeapItem = Reverse<(u64, u64, Ev)>;
 
+/// Point-in-time completion summary of one job (service `status` verb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobProgress {
+    /// Total task count.
+    pub total: usize,
+    /// Tasks finished so far.
+    pub finished: usize,
+    /// Tasks currently occupying a slot.
+    pub running: usize,
+    /// Tasks waiting in a queue (injected, not yet dispatched).
+    pub waiting: usize,
+    /// True once every task is done.
+    pub completed: bool,
+    /// Completion instant, once completed.
+    pub finish: Option<Time>,
+}
+
 /// The simulator. Construct, add one or more schedule batches, then
-/// [`Engine::run`] with a policy.
-pub struct Engine<'a> {
-    jobs: &'a [Job],
-    cluster: &'a ClusterSpec,
+/// [`Engine::run`] with a policy — or drive it incrementally with
+/// [`Engine::step_until`], feeding in more jobs and batches between steps
+/// (the online-service mode).
+pub struct Engine {
+    jobs: Vec<Job>,
+    cluster: ClusterSpec,
     cfg: EngineConfig,
     index: TaskIndex,
     tasks: Vec<TaskRt>,
@@ -75,15 +95,25 @@ pub struct Engine<'a> {
     seq: u64,
     now: Time,
     metrics: RunMetrics,
-    batches: Vec<(Time, Schedule)>,
-    /// Unfinished-task count per job.
+    /// Batches registered before the first run/step.
+    staged: Vec<(Time, Schedule)>,
+    /// Batch payloads addressed by `Ev::Inject`; drained on injection.
+    injected_batches: Vec<Schedule>,
+    /// Unfinished-task count per dense job index.
     job_left: Vec<u32>,
-    /// Accumulated task waiting per job (for the Fig. 6c metric).
+    /// Accumulated task waiting per dense job (for the Fig. 6c metric).
     job_wait_us: Vec<u64>,
     /// Tasks injected so far and finished so far.
     injected: usize,
     finished: usize,
     pending_injections: usize,
+    /// True once the first run/step installed staged batches and faults.
+    primed: bool,
+    /// Whether the active policy wants epoch callbacks at all.
+    epoch_enabled: bool,
+    /// Whether an epoch event is currently in flight (the chain drops when
+    /// the system idles and is re-armed by the next batch).
+    epoch_live: bool,
     /// Liveness per node (fault injection).
     alive: Vec<bool>,
     /// Permanently failed nodes never accept new work.
@@ -93,61 +123,116 @@ pub struct Engine<'a> {
     fault_plan: crate::faults::FaultPlan,
 }
 
-impl<'a> Engine<'a> {
-    /// Build an engine over `jobs` (indexed by `JobId`) and a cluster.
+impl Engine {
+    /// Build an engine owning `jobs` (sorted by strictly increasing
+    /// `JobId`; ids need not be contiguous) and a cluster.
     ///
     /// Task deadlines are propagated through DAG levels once, using
     /// execution-time estimates at the cluster's mean rate (Section IV-B).
-    pub fn new(jobs: &'a [Job], cluster: &'a ClusterSpec, cfg: EngineConfig) -> Self {
+    pub fn new(jobs: Vec<Job>, cluster: ClusterSpec, cfg: EngineConfig) -> Self {
         assert!(!cluster.is_empty(), "cannot simulate an empty cluster");
-        let index = TaskIndex::new(jobs);
-        let mean = cluster.mean_rate();
-        let mut tasks = Vec::with_capacity(index.total());
+        let n = cluster.len();
+        let mut e = Engine {
+            jobs: Vec::new(),
+            cluster,
+            cfg,
+            index: TaskIndex::default(),
+            tasks: Vec::new(),
+            nodes: vec![NodeRt::default(); n],
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            metrics: RunMetrics::default(),
+            staged: Vec::new(),
+            injected_batches: Vec::new(),
+            job_left: Vec::new(),
+            job_wait_us: Vec::new(),
+            injected: 0,
+            finished: 0,
+            pending_injections: 0,
+            primed: false,
+            epoch_enabled: false,
+            epoch_live: false,
+            alive: vec![true; n],
+            dead_forever: vec![false; n],
+            rate_factor: vec![1.0; n],
+            fault_plan: crate::faults::FaultPlan::none(),
+        };
+        e.add_jobs(jobs);
+        e
+    }
+
+    /// Register additional jobs; ids must exceed every id already known.
+    /// Their tasks stay `NotArrived` until a schedule batch injects them.
+    pub fn add_jobs(&mut self, jobs: Vec<Job>) {
+        let mean = self.cluster.mean_rate();
         for job in jobs {
             let exec = job.exec_estimates(mean);
             let dls = level_deadlines(&job.dag, job.levels(), job.deadline, &exec);
             for v in 0..job.num_tasks() as u32 {
-                tasks.push(TaskRt::new(
+                self.tasks.push(TaskRt::new(
                     job.task(v).size,
                     job.dag.in_degree(v) as u32,
                     dls[v as usize],
                 ));
             }
-        }
-        let job_left = jobs.iter().map(|j| j.num_tasks() as u32).collect();
-        Engine {
-            jobs,
-            cluster,
-            cfg,
-            index,
-            tasks,
-            nodes: vec![NodeRt::default(); cluster.len()],
-            events: BinaryHeap::new(),
-            seq: 0,
-            now: Time::ZERO,
-            metrics: RunMetrics::default(),
-            batches: Vec::new(),
-            job_left,
-            job_wait_us: vec![0; jobs.len()],
-            injected: 0,
-            finished: 0,
-            pending_injections: 0,
-            alive: vec![true; cluster.len()],
-            dead_forever: vec![false; cluster.len()],
-            rate_factor: vec![1.0; cluster.len()],
-            fault_plan: crate::faults::FaultPlan::none(),
+            self.job_left.push(job.num_tasks() as u32);
+            self.job_wait_us.push(0);
+            self.index.push_job(&job); // asserts monotone ids
+            self.jobs.push(job);
         }
     }
 
     /// Register a deterministic fault schedule (crashes, stragglers).
+    /// Before the first run/step the plan is staged and installed at prime
+    /// time; afterwards the faults enter the event heap immediately, with
+    /// instants before the current simulation time clamped to "now" — the
+    /// online service injects failures mid-stream this way.
     pub fn add_faults(&mut self, plan: crate::faults::FaultPlan) {
-        self.fault_plan = plan;
+        if !self.primed {
+            self.fault_plan.faults.extend(plan.faults);
+            return;
+        }
+        for f in &plan.faults {
+            self.install_fault(f, self.now);
+        }
+    }
+
+    /// Push one fault's events, clamping every instant to `floor`.
+    fn install_fault(&mut self, f: &crate::faults::Fault, floor: Time) {
+        match *f {
+            crate::faults::Fault::NodeDown { node, at, up_at } => {
+                let at = at.max(floor);
+                self.push_event(at, Ev::NodeDown { n: node.0, permanent: up_at.is_none() });
+                if let Some(up) = up_at {
+                    self.push_event(up.max(at), Ev::NodeUp { n: node.0 });
+                }
+            }
+            crate::faults::Fault::SlowDown { node, at, factor } => {
+                let clamped = if factor.is_finite() { factor.clamp(1e-3, 1.0) } else { 1.0 };
+                self.push_event(
+                    at.max(floor),
+                    Ev::SlowDown { n: node.0, factor_bits: clamped.to_bits() },
+                );
+            }
+        }
     }
 
     /// Register a schedule batch to be injected at `at` (the paper runs the
     /// offline scheduler periodically; each period's output is one batch).
+    /// After the first run/step, injection instants before the current
+    /// simulation time are clamped to "now".
     pub fn add_batch(&mut self, at: Time, schedule: Schedule) {
-        self.batches.push((at, schedule));
+        if !self.primed {
+            self.staged.push((at, schedule));
+            return;
+        }
+        let at = at.max(self.now);
+        let i = self.injected_batches.len();
+        self.injected_batches.push(schedule);
+        self.pending_injections += 1;
+        self.push_event(at, Ev::Inject(i));
+        self.arm_epoch(at);
     }
 
     fn push_event(&mut self, at: Time, ev: Ev) {
@@ -155,45 +240,57 @@ impl<'a> Engine<'a> {
         self.events.push(Reverse((at.as_micros(), self.seq, ev)));
     }
 
-    /// Run the simulation to completion and return the collected metrics.
-    pub fn run(&mut self, policy: &mut dyn PreemptPolicy) -> RunMetrics {
-        let batches = std::mem::take(&mut self.batches);
-        self.pending_injections = batches.len();
-        let first_at = batches.iter().map(|(t, _)| *t).min();
-        for (i, (at, _)) in batches.iter().enumerate() {
-            self.push_event(*at, Ev::Inject(i));
+    /// Start the epoch chain at `from` unless one is already in flight.
+    fn arm_epoch(&mut self, from: Time) {
+        if self.epoch_enabled && !self.epoch_live {
+            self.epoch_live = true;
+            self.push_event(from + self.cfg.epoch, Ev::Epoch);
         }
-        if !policy.is_noop() {
-            if let Some(t0) = first_at {
-                self.push_event(t0 + self.cfg.epoch, Ev::Epoch);
-            }
+    }
+
+    /// One-time setup at the first run/step: move staged batches into the
+    /// event heap, arm the epoch chain, install the fault plan.
+    fn prime(&mut self, policy: &dyn PreemptPolicy) {
+        if self.primed {
+            return;
+        }
+        self.primed = true;
+        self.epoch_enabled = !policy.is_noop();
+        let staged = std::mem::take(&mut self.staged);
+        let first_at = staged.iter().map(|(t, _)| *t).min();
+        for (at, s) in staged {
+            let i = self.injected_batches.len();
+            self.injected_batches.push(s);
+            self.pending_injections += 1;
+            self.push_event(at, Ev::Inject(i));
+        }
+        if let Some(t0) = first_at {
+            self.arm_epoch(t0);
         }
         let faults = std::mem::take(&mut self.fault_plan);
         for f in &faults.faults {
-            match *f {
-                crate::faults::Fault::NodeDown { node, at, up_at } => {
-                    self.push_event(at, Ev::NodeDown { n: node.0, permanent: up_at.is_none() });
-                    if let Some(up) = up_at {
-                        self.push_event(up.max(at), Ev::NodeUp { n: node.0 });
-                    }
-                }
-                crate::faults::Fault::SlowDown { node, at, factor } => {
-                    let clamped = if factor.is_finite() { factor.clamp(1e-3, 1.0) } else { 1.0 };
-                    self.push_event(at, Ev::SlowDown { n: node.0, factor_bits: clamped.to_bits() });
-                }
-            }
+            self.install_fault(f, Time::ZERO);
         }
-        let batches: Vec<Schedule> = batches.into_iter().map(|(_, s)| s).collect();
+    }
 
-        while let Some(Reverse((t_us, _, ev))) = self.events.pop() {
-            let t = Time::from_micros(t_us);
-            if t > self.cfg.max_time {
-                break;
+    /// Process every event at or before `cap` (which never exceeds
+    /// `max_time`); later events stay queued.
+    fn drain_events(&mut self, policy: &mut dyn PreemptPolicy, cap: Time) {
+        let cap_us = cap.as_micros();
+        loop {
+            match self.events.peek() {
+                Some(&Reverse((t_us, _, _))) if t_us <= cap_us => {}
+                _ => break,
             }
+            let Some(Reverse((t_us, _, ev))) = self.events.pop() else { break };
+            let t = Time::from_micros(t_us);
             debug_assert!(t >= self.now, "time must be monotone");
             self.now = t;
             match ev {
-                Ev::Inject(i) => self.handle_inject(&batches[i]),
+                Ev::Inject(i) => {
+                    let schedule = std::mem::take(&mut self.injected_batches[i]);
+                    self.handle_inject(&schedule);
+                }
                 Ev::Finish { g, gen } => self.handle_finish(g, gen),
                 Ev::Epoch => self.handle_epoch(policy),
                 Ev::NodeDown { n, permanent } => self.handle_node_down(n as usize, permanent),
@@ -203,9 +300,80 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    /// Run the simulation to completion and return the collected metrics.
+    pub fn run(&mut self, policy: &mut dyn PreemptPolicy) -> RunMetrics {
+        self.prime(policy);
+        self.drain_events(policy, self.cfg.max_time);
         #[cfg(debug_assertions)]
         self.debug_validate();
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Advance the simulation up to `until` (clamped at `max_time`) and
+    /// stop, leaving later events queued. Simulation time lands exactly on
+    /// the cap, so jobs/batches added afterwards arrive "now". The same
+    /// policy must be used across all steps of one run.
+    pub fn step_until(&mut self, policy: &mut dyn PreemptPolicy, until: Time) {
+        self.prime(policy);
+        let cap = until.min(self.cfg.max_time);
+        self.drain_events(policy, cap);
+        if cap > self.now {
+            self.now = cap;
+        }
+    }
+
+    /// True when every injected task finished and no injection is pending.
+    pub fn idle(&self) -> bool {
+        self.finished == self.injected && self.pending_injections == 0
+    }
+
+    /// Metrics collected so far, without consuming them.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The jobs the engine knows, ascending by id.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Completion summary of one job, `None` for unknown ids.
+    pub fn job_progress(&self, id: JobId) -> Option<JobProgress> {
+        let dense = self.index.try_job_dense(id)?;
+        let range = self.index.tasks_of(dense);
+        let total = range.len();
+        let mut p = JobProgress {
+            total,
+            finished: 0,
+            running: 0,
+            waiting: 0,
+            completed: false,
+            finish: None,
+        };
+        let mut last_finish = Time::ZERO;
+        for g in range {
+            match self.tasks[g].state {
+                RtState::Done => {
+                    p.finished += 1;
+                    last_finish = last_finish.max(self.tasks[g].finish);
+                }
+                RtState::Running => p.running += 1,
+                RtState::Waiting => p.waiting += 1,
+                RtState::NotArrived => {}
+            }
+        }
+        if p.finished == total && total > 0 {
+            p.completed = true;
+            p.finish = Some(last_finish);
+        }
+        Some(p)
     }
 
     /// Execution accounting for every injected task, for post-run auditing
@@ -220,7 +388,7 @@ impl<'a> Engine<'a> {
             .filter(|(_, rt)| rt.state != RtState::NotArrived)
             .map(|(g, rt)| {
                 let id = self.index.id(g);
-                let spec = self.jobs[id.job.idx()].task(id.index);
+                let spec = self.job(id.job).task(id.index);
                 crate::history::TaskHistory {
                     task: id,
                     node: rt.node,
@@ -252,7 +420,7 @@ impl<'a> Engine<'a> {
         let mut policy_overhead = Dur::ZERO;
         for (g, rt) in self.tasks.iter().enumerate() {
             let id = self.index.id(g);
-            let spec = self.jobs[id.job.idx()].task(id.index);
+            let spec = self.job(id.job).task(id.index);
             let per_charge = spec.recovery + self.cfg.sigma;
             policy_overhead += per_charge * rt.preempt_count as u64;
             if rt.state != RtState::Done {
@@ -275,6 +443,11 @@ impl<'a> Engine<'a> {
             self.metrics.switch_overhead, policy_overhead,
             "metrics switch_overhead diverges from per-task preemption charges",
         );
+    }
+
+    /// The job owning `id`; ids are validated when jobs are added.
+    fn job(&self, id: JobId) -> &Job {
+        &self.jobs[self.index.job_dense(id)]
     }
 
     fn handle_inject(&mut self, schedule: &Schedule) {
@@ -329,7 +502,7 @@ impl<'a> Engine<'a> {
         let stint = self.now.since(rt.wait_since);
         rt.total_wait += stint;
         let id = self.index.id(g);
-        self.job_wait_us[id.job.idx()] += stint.as_micros();
+        self.job_wait_us[self.index.job_dense(id.job)] += stint.as_micros();
         rt.state = RtState::Running;
         rt.gen += 1;
         rt.work_start = self.now + rt.pending_overhead;
@@ -400,7 +573,8 @@ impl<'a> Engine<'a> {
         self.finished += 1;
 
         // Unblock dependents.
-        let job = &self.jobs[id.job.idx()];
+        let dense = self.index.job_dense(id.job);
+        let job = &self.jobs[dense];
         let mut fill: Vec<usize> = vec![node];
         for &c in job.dag.children(id.index) {
             let cg = self.index.global(job.task_id(c));
@@ -413,7 +587,7 @@ impl<'a> Engine<'a> {
         }
 
         // Job completion bookkeeping.
-        let jl = &mut self.job_left[id.job.idx()];
+        let jl = &mut self.job_left[dense];
         *jl -= 1;
         if *jl == 0 {
             let m = job.num_tasks().max(1) as u64;
@@ -421,7 +595,7 @@ impl<'a> Engine<'a> {
                 arrival: job.arrival,
                 finish: self.now,
                 deadline: job.deadline,
-                mean_task_wait: Dur::from_micros(self.job_wait_us[id.job.idx()] / m),
+                mean_task_wait: Dur::from_micros(self.job_wait_us[dense] / m),
                 tasks: job.num_tasks(),
             });
         }
@@ -448,7 +622,7 @@ impl<'a> Engine<'a> {
             _ => rt.remaining,
         };
         let remaining_time = remaining_work.exec_time(rate);
-        let spec = self.jobs[id.job.idx()].task(id.index);
+        let spec = self.job(id.job).task(id.index);
         TaskSnapshot {
             id,
             remaining_work,
@@ -492,7 +666,7 @@ impl<'a> Engine<'a> {
         for &g in &victims {
             let rate = self.rate_of(g);
             let id = self.index.id(g);
-            let recovery = self.jobs[id.job.idx()].task(id.index).recovery + self.cfg.sigma;
+            let recovery = self.job(id.job).task(id.index).recovery + self.cfg.sigma;
             let rt = &mut self.tasks[g];
             rt.account_progress(rate, self.now);
             rt.state = RtState::Waiting;
@@ -584,7 +758,7 @@ impl<'a> Engine<'a> {
             // Work remains; run the policy and re-arm.
             let actions: Vec<(usize, Vec<PreemptAction>)> = {
                 let views = self.build_views();
-                let world = WorldCtx { jobs: self.jobs, now: self.now };
+                let world = WorldCtx { jobs: &self.jobs, now: self.now };
                 policy.begin_epoch(self.now, &views, &world);
                 views
                     .iter()
@@ -600,9 +774,12 @@ impl<'a> Engine<'a> {
                 self.fill_node(n);
             }
             self.push_event(self.now + self.cfg.epoch, Ev::Epoch);
+        } else {
+            // When everything injected has finished and no injections are
+            // pending, dropping the epoch chain ends the simulation (a
+            // later batch re-arms it via `add_batch`).
+            self.epoch_live = false;
         }
-        // When everything injected has finished and no injections are
-        // pending, dropping the epoch chain ends the simulation.
     }
 
     fn apply_action(&mut self, n: usize, act: PreemptAction, checkpointing: bool) {
@@ -624,7 +801,7 @@ impl<'a> Engine<'a> {
         // container it *just* started).
         {
             let vid = self.index.id(eg);
-            let overhead = self.jobs[vid.job.idx()].task(vid.index).recovery + self.cfg.sigma;
+            let overhead = self.job(vid.job).task(vid.index).recovery + self.cfg.sigma;
             let min_run = self.tasks[eg].work_start + overhead * 2;
             if self.now < min_run {
                 return;
@@ -644,7 +821,7 @@ impl<'a> Engine<'a> {
         // --- Suspend the victim. ---
         let rate = self.rate_of(eg);
         let id = self.index.id(eg);
-        let recovery = self.jobs[id.job.idx()].task(id.index).recovery + self.cfg.sigma;
+        let recovery = self.job(id.job).task(id.index).recovery + self.cfg.sigma;
         {
             let rt = &mut self.tasks[eg];
             rt.account_progress(rate, self.now);
@@ -652,7 +829,7 @@ impl<'a> Engine<'a> {
                 // No checkpoint mechanism: restart from scratch (SRPT).
                 // All retained progress (this stint's and any earlier
                 // checkpointed remainder) is discarded.
-                let size = self.jobs[id.job.idx()].task(id.index).size;
+                let size = self.jobs[self.index.job_dense(id.job)].task(id.index).size;
                 rt.lost += size - rt.remaining;
                 rt.remaining = size;
             }
@@ -735,7 +912,7 @@ mod tests {
         // 1000 MI at 1000 MIPS (uniform rate = 0.5·1000 + 0.5·1000) = 1 s.
         let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(100));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.tasks_completed, 1);
@@ -750,7 +927,7 @@ mod tests {
         let jobs = mk_jobs(&[1000.0, 1000.0], &[], Time::from_secs(100));
         for (slots, want) in [(1usize, 2u64), (2, 1)] {
             let cluster = uniform(1, 1000.0, slots);
-            let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+            let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
             e.add_batch(Time::ZERO, all_to_node0(&jobs));
             let m = e.run(&mut NoPreempt);
             assert_eq!(m.makespan(), Dur::from_secs(want), "slots={slots}");
@@ -766,7 +943,7 @@ mod tests {
         let mut s = Schedule::new();
         s.assign(TaskId::new(0, 1), NodeId(0), Time::ZERO); // child first
         s.assign(TaskId::new(0, 0), NodeId(0), Time::from_secs(1));
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, s);
         let m = e.run(&mut NoPreempt);
         // Serial despite 2 slots: 2 s, and no disorder (queue skipping is
@@ -790,7 +967,7 @@ mod tests {
         s.assign(TaskId::new(0, 1), NodeId(0), Time::from_secs(1));
         s.assign(TaskId::new(0, 2), NodeId(1), Time::from_secs(1));
         s.assign(TaskId::new(0, 3), NodeId(0), Time::from_secs(2));
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, s);
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.makespan(), Dur::from_secs(3));
@@ -800,7 +977,7 @@ mod tests {
     fn waiting_time_is_recorded() {
         let jobs = mk_jobs(&[1000.0, 1000.0], &[], Time::from_secs(100));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         // Task 0 waits 0 s, task 1 waits 1 s → job mean 0.5 s.
@@ -811,7 +988,7 @@ mod tests {
     fn late_batch_injection() {
         let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(100));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::from_secs(5), all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.end_time, Time::from_secs(6));
@@ -853,8 +1030,8 @@ mod tests {
         let jobs = mk_jobs(&[10_000.0, 10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
         let mut e = Engine::new(
-            &jobs,
-            &cluster,
+            jobs.clone(),
+            cluster.clone(),
             EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
         );
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
@@ -906,8 +1083,8 @@ mod tests {
         let cluster = uniform(1, 1000.0, 1);
         let run = |checkpoint: bool| {
             let mut e = Engine::new(
-                &jobs,
-                &cluster,
+                jobs.clone(),
+                cluster.clone(),
                 EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
             );
             e.add_batch(Time::ZERO, all_to_node0(&jobs));
@@ -953,7 +1130,7 @@ mod tests {
     fn dependency_violating_dispatch_counts_disorder() {
         let jobs = mk_jobs(&[5_000.0, 1_000.0], &[(0, 1)], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut Disorderly);
         assert!(m.disorders > 0, "disorders = {}", m.disorders);
@@ -970,7 +1147,7 @@ mod tests {
         for (node, want_secs) in [(0u32, 2u64), (1, 1)] {
             let mut s = Schedule::new();
             s.assign(TaskId::new(0, 0), NodeId(node), Time::ZERO);
-            let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+            let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
             e.add_batch(Time::ZERO, s);
             let m = e.run(&mut NoPreempt);
             assert_eq!(m.makespan(), Dur::from_secs(want_secs), "node {node}");
@@ -981,7 +1158,7 @@ mod tests {
     fn deadline_outcome_recorded() {
         let jobs = mk_jobs(&[2000.0], &[], Time::from_millis(500));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.jobs_completed(), 1);
@@ -997,7 +1174,7 @@ mod tests {
         // 5 + 1.05 + 8 = 14.05 s.
         let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().crash(NodeId(0), Time::from_secs(2), Time::from_secs(5)));
         let m = e.run(&mut NoPreempt);
@@ -1012,7 +1189,7 @@ mod tests {
         // on node 1.
         let jobs = mk_jobs(&[5_000.0, 5_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(2, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().kill(NodeId(0), Time::from_secs(1)));
         let m = e.run(&mut NoPreempt);
@@ -1030,7 +1207,7 @@ mod tests {
         // context switch is charged.
         let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().straggle(NodeId(0), Time::from_secs(5), 0.5));
         let m = e.run(&mut NoPreempt);
@@ -1047,7 +1224,7 @@ mod tests {
         // 6 s → finish at t = 12.
         let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().straggle(NodeId(0), Time::from_secs(2), 0.5).straggle(
             NodeId(0),
@@ -1062,7 +1239,7 @@ mod tests {
     fn crash_during_idle_is_harmless() {
         let jobs = mk_jobs(&[1_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(2, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         // Node 1 (never used) crashes and recovers; node 0 finishes its
         // task untouched.
@@ -1080,7 +1257,7 @@ mod tests {
     fn empty_schedule_terminates() {
         let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(1));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.tasks_completed, 0);
         assert_eq!(m.makespan(), Dur::ZERO);

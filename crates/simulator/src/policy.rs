@@ -4,7 +4,7 @@
 //! baselines) live in `dsp-preempt`; the engine only knows this trait.
 
 use dsp_cluster::NodeId;
-use dsp_dag::{Job, TaskId};
+use dsp_dag::{Job, JobId, TaskId};
 use dsp_units::{Dur, Mi, ResourceVec, Time};
 
 /// Point-in-time view of one task, as policies see it.
@@ -55,7 +55,8 @@ pub struct NodeView {
 
 /// Read-only world context shared by all nodes within one epoch.
 pub struct WorldCtx<'a> {
-    /// All jobs of the run, indexed by `JobId`.
+    /// All jobs of the run, sorted by ascending `JobId` (ids need not be
+    /// contiguous — lookups go through [`WorldCtx::find`]).
     pub jobs: &'a [Job],
     /// Current simulation time.
     pub now: Time,
@@ -66,12 +67,21 @@ impl<'a> WorldCtx<'a> {
     /// jobs never depend on each other (cross-job dependency is future work
     /// in the paper's conclusion).
     pub fn depends_on(&self, a: TaskId, b: TaskId) -> bool {
-        a.job == b.job && self.jobs[a.job.idx()].dag.depends_on(a.index, b.index)
+        a.job == b.job && self.job_of(a).dag.depends_on(a.index, b.index)
     }
 
-    /// The job owning a task.
-    pub fn job_of(&self, t: TaskId) -> &Job {
-        &self.jobs[t.job.idx()]
+    /// The job with the given id, if present.
+    pub fn find(&self, id: JobId) -> Option<&'a Job> {
+        self.jobs.binary_search_by(|j| j.id.cmp(&id)).ok().map(|i| &self.jobs[i])
+    }
+
+    /// The job owning a task; panics if the engine handed out a snapshot
+    /// for a job it does not know (an internal invariant violation).
+    pub fn job_of(&self, t: TaskId) -> &'a Job {
+        match self.find(t.job) {
+            Some(j) => j,
+            None => panic!("unknown job {}", t.job),
+        }
     }
 }
 

@@ -2,31 +2,45 @@
 //! dense global task index.
 
 use dsp_cluster::NodeId;
-use dsp_dag::{Job, TaskId};
+use dsp_dag::{Job, JobId, TaskId};
 use dsp_units::{Dur, Mi, Time};
 
 /// Maps `TaskId`s to dense global indices `0..total` across all jobs.
-#[derive(Debug, Clone)]
+///
+/// Jobs are keyed by their `JobId` in ascending order; ids need not be
+/// contiguous (a long-running service hands out ids across batches), only
+/// strictly increasing. The index grows incrementally via
+/// [`TaskIndex::push_job`].
+#[derive(Debug, Clone, Default)]
 pub struct TaskIndex {
+    /// Ascending job ids; position = dense job index.
+    job_ids: Vec<JobId>,
+    /// First global task index of each dense job.
     offsets: Vec<usize>,
     ids: Vec<TaskId>,
 }
 
 impl TaskIndex {
-    /// Build the index over a job list (jobs must be indexed by their
+    /// Build the index over a job list (sorted by strictly increasing
     /// `JobId`).
     pub fn new(jobs: &[Job]) -> Self {
-        let mut offsets = Vec::with_capacity(jobs.len());
-        let mut ids = Vec::new();
-        let mut off = 0usize;
+        let mut ix = TaskIndex::default();
         for job in jobs {
-            offsets.push(off);
-            off += job.num_tasks();
-            for v in 0..job.num_tasks() as u32 {
-                ids.push(job.task_id(v));
-            }
+            ix.push_job(job);
         }
-        TaskIndex { offsets, ids }
+        ix
+    }
+
+    /// Append one more job; its id must exceed every id already indexed.
+    pub fn push_job(&mut self, job: &Job) {
+        if let Some(&last) = self.job_ids.last() {
+            assert!(job.id > last, "job ids must be strictly increasing: {} after {last}", job.id);
+        }
+        self.job_ids.push(job.id);
+        self.offsets.push(self.ids.len());
+        for v in 0..job.num_tasks() as u32 {
+            self.ids.push(job.task_id(v));
+        }
     }
 
     /// Total number of tasks.
@@ -35,10 +49,39 @@ impl TaskIndex {
         self.ids.len()
     }
 
+    /// Number of indexed jobs.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.job_ids.len()
+    }
+
+    /// Dense job index of a `JobId`, if known.
+    #[inline]
+    pub fn try_job_dense(&self, id: JobId) -> Option<usize> {
+        self.job_ids.binary_search(&id).ok()
+    }
+
+    /// Dense job index of a `JobId`; panics on an unknown job.
+    #[inline]
+    pub fn job_dense(&self, id: JobId) -> usize {
+        match self.try_job_dense(id) {
+            Some(d) => d,
+            None => panic!("unknown job {id}"),
+        }
+    }
+
+    /// Global task range of a dense job index.
+    #[inline]
+    pub fn tasks_of(&self, dense: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[dense];
+        let end = self.offsets.get(dense + 1).copied().unwrap_or(self.ids.len());
+        start..end
+    }
+
     /// Dense index of a task.
     #[inline]
     pub fn global(&self, t: TaskId) -> usize {
-        self.offsets[t.job.idx()] + t.idx()
+        self.offsets[self.job_dense(t.job)] + t.idx()
     }
 
     /// Task id at a dense index.
@@ -189,10 +232,48 @@ mod tests {
         let jobs = jobs();
         let idx = TaskIndex::new(&jobs);
         assert_eq!(idx.total(), 6);
+        assert_eq!(idx.num_jobs(), 3);
         for g in 0..idx.total() {
             assert_eq!(idx.global(idx.id(g)), g);
         }
         assert_eq!(idx.global(TaskId::new(2, 1)), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn index_handles_sparse_job_ids() {
+        // Ids 4, 17, 40: monotone but nowhere near contiguous.
+        let jobs: Vec<Job> = [4u32, 17, 40]
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                Job::new(
+                    JobId(id),
+                    JobClass::Small,
+                    Time::ZERO,
+                    Time::MAX,
+                    vec![TaskSpec::sized(1.0); k + 1],
+                    Dag::new(k + 1),
+                )
+            })
+            .collect();
+        let idx = TaskIndex::new(&jobs);
+        assert_eq!(idx.total(), 6);
+        for g in 0..idx.total() {
+            assert_eq!(idx.global(idx.id(g)), g);
+        }
+        assert_eq!(idx.job_dense(JobId(17)), 1);
+        assert_eq!(idx.try_job_dense(JobId(5)), None);
+        assert_eq!(idx.tasks_of(2), 3..6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn index_rejects_non_monotone_ids() {
+        let mk =
+            |id| Job::new(JobId(id), JobClass::Small, Time::ZERO, Time::MAX, vec![], Dag::new(0));
+        let mut idx = TaskIndex::default();
+        idx.push_job(&mk(7));
+        idx.push_job(&mk(7));
     }
 
     #[test]

@@ -94,8 +94,8 @@ proptest! {
         let schedule = round_robin_schedule(&jobs, nodes);
         let run = || {
             let mut e = Engine::new(
-                &jobs,
-                &cluster,
+                jobs.clone(),
+                cluster.clone(),
                 EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
             );
             e.add_batch(Time::ZERO, schedule.clone());
@@ -128,8 +128,8 @@ proptest! {
             .straggle(NodeId(1), Time::from_secs(slow_at), 0.5)
             .crash(NodeId(2), Time::from_secs(crash_at + 2), Time::from_secs(crash_at + 10));
         let mut e = Engine::new(
-            &jobs,
-            &cluster,
+            jobs.clone(),
+            cluster.clone(),
             EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
         );
         e.add_batch(Time::ZERO, schedule);

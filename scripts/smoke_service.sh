@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the online service: boot dspd on an ephemeral
+# port, stream jobs over the socket, drain to a snapshot file, and assert
+# `dsp verify --snapshot` reports zero rule errors (exit 0).
+#
+# Usage: scripts/smoke_service.sh [path-to-release-bin-dir]
+# Builds are expected to exist already (cargo build --release --workspace).
+set -euo pipefail
+
+BIN=${1:-${CARGO_TARGET_DIR:-target}/release}
+workdir=$(mktemp -d)
+DSPD_PID=""
+trap '[ -n "$DSPD_PID" ] && kill "$DSPD_PID" 2>/dev/null; rm -rf "$workdir"' EXIT
+
+# Ephemeral port (0), fast clock: one 60 s scheduling period ≈ 50 ms wall.
+"$BIN/dspd" --cluster uniform:4:1000:2 --period 60 --epoch 5 --time-scale 1200 \
+  >"$workdir/dspd.log" 2>&1 &
+DSPD_PID=$!
+
+# Scrape the bound address from the boot line.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^dspd listening on //p' "$workdir/dspd.log" | head -n1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$DSPD_PID" 2>/dev/null || { echo "dspd died on boot:"; cat "$workdir/dspd.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "dspd never reported an address:"; cat "$workdir/dspd.log"; exit 1; }
+echo "smoke: dspd on $ADDR"
+
+# A hand-written batch (bare jobs array form)...
+cat >"$workdir/jobs.json" <<'EOF'
+[{"tasks":[{"size":20000},{"size":20000},{"size":20000}],"edges":[[0,1],[1,2]]},
+ {"tasks":[{"size":5000},{"size":5000}],"edges":[[0,1]]}]
+EOF
+"$BIN/dsp" submit --addr "$ADDR" --file "$workdir/jobs.json"
+"$BIN/dsp" status --addr "$ADDR" --job 0
+"$BIN/dsp" metrics --addr "$ADDR"
+
+# ...then a generated one a couple of scheduling periods later.
+sleep 0.5
+"$BIN/dsp" submit --addr "$ADDR" --gen 3 --seed 7
+sleep 0.5
+
+# Graceful drain: runs the simulation dry and writes the final snapshot.
+"$BIN/dsp" drain --addr "$ADDR" --out "$workdir/snap.json"
+wait "$DSPD_PID"
+DSPD_PID=""
+
+# The drained snapshot must pass every verifier rule.
+"$BIN/dsp" verify --snapshot "$workdir/snap.json"
+echo "service smoke: OK"

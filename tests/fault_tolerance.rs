@@ -6,9 +6,10 @@ use dsp_cluster::NodeId;
 use dsp_core::{config::Params, DspSystem};
 use dsp_preempt::{DspPolicy, SrptPolicy};
 use dsp_sched::DspListScheduler;
-use dsp_sim::FaultPlan;
+use dsp_service::{AdmissionConfig, JobRequest, OnlineDriver};
+use dsp_sim::{EngineConfig, FaultPlan};
 use dsp_trace::{generate_workload, TraceParams};
-use dsp_units::Time;
+use dsp_units::{Dur, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,6 +79,58 @@ fn restart_policy_survives_crashes() {
     let mut pol = SrptPolicy::default();
     let m = system.run_with_faults(&jobs, &mut sched, &mut pol, chaos());
     assert_eq!(m.jobs_completed(), 8);
+}
+
+#[test]
+fn online_driver_migrates_work_off_a_dead_node() {
+    // A permanent NodeDown in the middle of a *streaming* run: the online
+    // driver must migrate the dead node's running and queued work to the
+    // survivors, keep admitting new batches afterwards, and still produce
+    // a drained history that passes every verifier rule.
+    let params = Params::default();
+    let mut d = OnlineDriver::new(
+        dsp_cluster::uniform(3, 1000.0, 1),
+        EngineConfig {
+            epoch: Dur::from_secs(5),
+            sigma: Dur::from_millis(50),
+            max_time: Time::from_secs(24 * 3600),
+            lookahead: 4,
+        },
+        Dur::from_secs(100),
+        Box::new(DspListScheduler::default()),
+        Box::new(DspPolicy::new(params.dsp_params(true))),
+        AdmissionConfig::default(),
+    );
+    let chain = || JobRequest {
+        class: dsp_dag::JobClass::Small,
+        deadline: None,
+        tasks: vec![dsp_dag::TaskSpec::sized(30_000.0); 3],
+        edges: vec![(0, 1), (1, 2)],
+    };
+
+    // Three 90 s chains land at the first boundary, one per single-slot
+    // node; at t = 105 every node is mid-task.
+    d.submit(vec![chain(), chain(), chain()]).unwrap();
+    d.advance_to(Time::from_secs(104));
+    d.inject_faults(FaultPlan::none().kill(NodeId(0), Time::from_secs(105)));
+    d.advance_to(Time::from_secs(150));
+    assert!(d.metrics().node_failures >= 1, "the kill must have fired");
+    assert!(d.metrics().fault_rescheduled > 0, "node 0's work must migrate");
+
+    // The service keeps admitting after the failure.
+    d.submit(vec![chain()]).unwrap();
+    let snap = d.drain();
+    assert_eq!(d.metrics().jobs_completed(), 4, "all work finishes on the survivors");
+    let report = snap.verify();
+    assert!(report.passes(), "drained snapshot must pass R1–R6: {report:?}");
+    assert!(snap.history.tasks.iter().all(|t| t.completed));
+    // Nothing may have *finished* on the dead node after the kill instant.
+    for t in &snap.history.tasks {
+        assert!(
+            t.node != NodeId(0) || t.finish <= Time::from_secs(105),
+            "task completed on the dead node after the kill: {t:?}"
+        );
+    }
 }
 
 #[test]

@@ -88,7 +88,8 @@ fn exact_plan_executes_to_its_planned_makespan() {
         DspIlpScheduler::default().schedule_with_outcome(&jobs, &cluster, Time::ZERO);
     assert_eq!(outcome, IlpOutcome::Exact);
     let planned = planned_makespan(&exact, &jobs, &cluster);
-    let mut engine = dsp_sim::Engine::new(&jobs, &cluster, dsp_sim::EngineConfig::default());
+    let mut engine =
+        dsp_sim::Engine::new(jobs.clone(), cluster.clone(), dsp_sim::EngineConfig::default());
     engine.add_batch(Time::ZERO, exact);
     let m = engine.run(&mut dsp_sim::NoPreempt);
     assert!(m.makespan() <= planned, "executed {} > planned {}", m.makespan(), planned);

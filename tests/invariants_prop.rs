@@ -103,7 +103,7 @@ proptest! {
         let cluster = uniform(nodes, 1000.0, 1);
         let mut sched = DspListScheduler::default();
         let schedule = sched.schedule(&jobs, &cluster, Time::ZERO);
-        let mut engine = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut engine = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         engine.add_batch(Time::ZERO, schedule);
         let m = engine.run(&mut NoPreempt);
 
@@ -139,7 +139,7 @@ proptest! {
         let cluster = uniform(nodes, 1000.0, 2);
         let mut sched = DspListScheduler::default();
         let schedule = sched.schedule(&jobs, &cluster, Time::ZERO);
-        let mut engine = Engine::new(&jobs, &cluster, EngineConfig::default());
+        let mut engine = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
         engine.add_batch(Time::ZERO, schedule);
         let m = engine.run(&mut NoPreempt);
         // A chain of k 1-second tasks can never beat k seconds, no matter
