@@ -20,6 +20,9 @@
 //! dsp status  --addr HOST:PORT --job ID
 //! dsp metrics --addr HOST:PORT
 //! dsp drain   --addr HOST:PORT [--out SNAPSHOT_FILE]
+//!
+//! dsp bench   [--quick] [--baseline] [--label NAME] [--out FILE]
+//! dsp bench   --compare OLD.json NEW.json [--threshold PCT]
 //! ```
 //!
 //! Artifacts (`--dump-*`, snapshots) are versioned JSON: every file
@@ -75,7 +78,9 @@ fn usage() -> ! {
          \x20      dsp submit --addr HOST:PORT (--file FILE | --gen N [--seed S] [--scale F])\n\
          \x20      dsp status --addr HOST:PORT --job ID\n\
          \x20      dsp metrics --addr HOST:PORT\n\
-         \x20      dsp drain --addr HOST:PORT [--out SNAPSHOT_FILE]"
+         \x20      dsp drain --addr HOST:PORT [--out SNAPSHOT_FILE]\n\
+         \x20      dsp bench [--quick] [--baseline] [--label NAME] [--out FILE]\n\
+         \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]"
     );
     std::process::exit(2)
 }
@@ -667,6 +672,7 @@ fn main() {
         Some("status") => status_main(&argv[1..]),
         Some("metrics") => metrics_main(&argv[1..]),
         Some("drain") => drain_main(&argv[1..]),
+        Some("bench") => std::process::exit(dsp_bench::perf::bench_main(&argv[1..])),
         _ => run_main(&argv),
     }
 }

@@ -9,6 +9,8 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod perf;
+
 use dsp_core::FigureScale;
 
 /// The scale Criterion benches run at: small enough for statistical

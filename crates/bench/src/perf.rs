@@ -1,0 +1,692 @@
+//! `dsp bench` — the pinned, seeded perf harness behind the committed
+//! `BENCH_*.json` trajectory.
+//!
+//! Every bench runs a fixed workload from a fixed seed and reports the
+//! **best-of-iters** wall time plus the logical effort counters the hot
+//! paths expose (`unsafe` is forbidden workspace-wide, so there are no
+//! allocator hooks — the counters are the honest substitute: Eq. 12
+//! recomputes vs. skips, arena bytes, simplex pivots, B&B nodes, warm
+//! hits). `--baseline` swaps in the retained reference implementations
+//! (`compute_priorities_ref` each epoch, MILP with `warm_start: false`)
+//! under the **same bench names**, so comparing a `--baseline` file
+//! against an optimized file with `dsp bench --compare` measures exactly
+//! the hot-path work of this trajectory:
+//!
+//! ```text
+//! dsp bench --baseline --label baseline --out BENCH_baseline.json
+//! dsp bench --label pr3 --out BENCH_pr3.json
+//! dsp bench --compare BENCH_baseline.json BENCH_pr3.json
+//! ```
+//!
+//! Compare exits 1 when any shared bench regressed by more than the
+//! threshold (default 15%), making it usable as a CI tripwire; the
+//! thin wrapper `scripts/bench_compare.sh` does exactly that.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dsp_core::cluster::{ec2, uniform, NodeId};
+use dsp_core::dag::{Dag, Job, JobClass, JobId, TaskSpec};
+use dsp_core::experiment::{run_experiment, ExperimentConfig};
+use dsp_core::preempt::{compute_priorities_ref, PriorityEngine, PriorityWeights};
+use dsp_core::sched::{DspIlpScheduler, DspListScheduler, IlpLimits, Scheduler};
+use dsp_core::sim::{NodeView, TaskSnapshot, WorldCtx};
+use dsp_core::trace::{generate_workload, TraceParams};
+use dsp_core::units::{Dur, Mi, ResourceVec, Time};
+use dsp_core::{ClusterProfile, Params, PreemptMethod, SchedMethod};
+use dsp_service::json::Json;
+use dsp_service::{AdmissionConfig, JobRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Version stamp written into every BENCH file; compare refuses files it
+/// does not read.
+pub const BENCH_FORMAT_VERSION: u64 = 1;
+
+/// The pinned workload seed (the paper's year, like everywhere else in
+/// the repo).
+pub const BENCH_SEED: u64 = 2018;
+
+/// How a harness invocation is shaped.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Reduced sizes for CI smoke runs.
+    pub quick: bool,
+    /// Run the retained reference implementations under the same names.
+    pub baseline: bool,
+    /// Free-form tag recorded in the output (`pr3`, `baseline`, ...).
+    pub label: String,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { quick: false, baseline: false, label: "dev".into() }
+    }
+}
+
+/// One bench's measurement: best wall time over `iters` runs plus its
+/// logical effort counters.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub wall_ns: u64,
+    pub iters: u64,
+    pub counters: Vec<(String, u64)>,
+}
+
+fn time_best<F: FnMut()>(iters: u64, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn bench_workload(n: usize, task_scale: f64) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    generate_workload(&mut rng, n, &TraceParams { task_scale, ..TraceParams::default() })
+}
+
+// ---------------------------------------------------------------------------
+// Bench 1: the Eq. 12/13 epoch pass — reference rebuild vs. PriorityEngine.
+// ---------------------------------------------------------------------------
+
+/// Pre-built epoch sequence: the views for every epoch, materialized
+/// outside the timed region so only the priority computation is measured.
+struct EpochTrace {
+    jobs: Vec<Job>,
+    epochs: Vec<Vec<NodeView>>,
+}
+
+fn build_epoch_trace(n_jobs: usize, n_epochs: usize) -> EpochTrace {
+    let jobs = bench_workload(n_jobs, 0.05);
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x5bd1_e995);
+    #[derive(Clone, Copy)]
+    struct St {
+        live: bool,
+        rem: u64,
+        wait: u64,
+        allow: u64,
+        running: bool,
+    }
+    let mut state: Vec<Vec<St>> = jobs
+        .iter()
+        .map(|j| {
+            (0..j.num_tasks())
+                .map(|_| St {
+                    live: true,
+                    rem: rng.gen_range(100..20_000),
+                    wait: rng.gen_range(0..10_000),
+                    allow: rng.gen_range(0..10_000),
+                    running: rng.gen_range(0..2) == 0,
+                })
+                .collect()
+        })
+        .collect();
+    const NODES: usize = 8;
+    let mut epochs = Vec::with_capacity(n_epochs);
+    for e in 0..n_epochs {
+        // Every third epoch is quiet (identical snapshots): the engine's
+        // clean-skip path must show up in a realistic mix, not only in a
+        // microbench of its own.
+        let quiet = e % 3 == 2;
+        if !quiet && e > 0 {
+            for job_state in state.iter_mut() {
+                for t in job_state.iter_mut().filter(|t| t.live) {
+                    match rng.gen_range(0..10) {
+                        0 if e > n_epochs / 2 => t.live = false,
+                        1..=4 => {
+                            t.rem = rng.gen_range(100..20_000);
+                            t.wait += rng.gen_range(0u64..500);
+                            t.running = !t.running;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let mut views: Vec<NodeView> = (0..NODES)
+            .map(|i| NodeView {
+                node: NodeId(i as u32),
+                running: vec![],
+                waiting: vec![],
+                slots: 4,
+            })
+            .collect();
+        for (j, job) in jobs.iter().enumerate() {
+            for v in 0..job.num_tasks() as u32 {
+                let t = state[j][v as usize];
+                if !t.live {
+                    continue;
+                }
+                let s = TaskSnapshot {
+                    id: job.task_id(v),
+                    remaining_work: Mi::new(t.rem as f64),
+                    remaining_time: Dur::from_millis(t.rem),
+                    waiting: Dur::from_millis(t.wait),
+                    deadline: job.deadline,
+                    allowable_wait: Dur::from_millis(t.allow),
+                    running: t.running,
+                    ready: true,
+                    demand: ResourceVec::cpu_mem(0.1, 0.1),
+                    size: Mi::new(t.rem as f64),
+                    preemptions: 0,
+                };
+                let view = &mut views[(j + v as usize) % NODES];
+                if t.running {
+                    view.running.push(s);
+                } else {
+                    view.waiting.push(s);
+                }
+            }
+        }
+        epochs.push(views);
+    }
+    EpochTrace { jobs, epochs }
+}
+
+fn bench_epoch_priority(opts: &BenchOptions) -> BenchResult {
+    let (n_jobs, n_epochs, iters) = if opts.quick { (12, 30, 3) } else { (30, 90, 5) };
+    let trace = build_epoch_trace(n_jobs, n_epochs);
+    let w = PriorityWeights::default();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let wall_ns = if opts.baseline {
+        time_best(iters, || {
+            for (e, views) in trace.epochs.iter().enumerate() {
+                let world = WorldCtx { jobs: &trace.jobs, now: Time::from_secs(e as u64) };
+                black_box(compute_priorities_ref(views, &world, &w));
+            }
+        })
+    } else {
+        let mut last_stats = None;
+        let mut arena = 0usize;
+        let ns = time_best(iters, || {
+            let mut engine = PriorityEngine::new();
+            for (e, views) in trace.epochs.iter().enumerate() {
+                let world = WorldCtx { jobs: &trace.jobs, now: Time::from_secs(e as u64) };
+                engine.begin_epoch(views, &world, &w);
+                black_box(engine.mean_gap());
+            }
+            last_stats = Some(engine.stats());
+            arena = engine.arena_bytes();
+        });
+        let s = last_stats.expect("at least one iter ran");
+        counters.push(("jobs_recomputed".into(), s.jobs_recomputed));
+        counters.push(("jobs_skipped".into(), s.jobs_skipped));
+        counters.push(("arena_bytes".into(), arena as u64));
+        ns
+    };
+    counters.push(("epochs".into(), trace.epochs.len() as u64));
+    let tasks: usize = trace.jobs.iter().map(|j| j.num_tasks()).sum();
+    counters.push(("tasks".into(), tasks as u64));
+    BenchResult { name: "epoch_priority_pass".into(), wall_ns, iters, counters }
+}
+
+// ---------------------------------------------------------------------------
+// Bench 2: the DSP list scheduler (same path both modes — a drift canary).
+// ---------------------------------------------------------------------------
+
+fn bench_list_scheduler(opts: &BenchOptions) -> BenchResult {
+    let (n_jobs, iters) = if opts.quick { (12, 3) } else { (30, 5) };
+    let jobs = bench_workload(n_jobs, 0.05);
+    let cluster = ec2();
+    let wall_ns = time_best(iters, || {
+        black_box(DspListScheduler::default().schedule(&jobs, &cluster, Time::ZERO));
+    });
+    let tasks: usize = jobs.iter().map(|j| j.num_tasks()).sum();
+    BenchResult {
+        name: "dsp_list_schedule".into(),
+        wall_ns,
+        iters,
+        counters: vec![("tasks".into(), tasks as u64)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench 3: exact MILP over the Fig. 5-style instance set — warm vs. cold.
+// ---------------------------------------------------------------------------
+
+fn milp_instances() -> Vec<Vec<Job>> {
+    let chain = |n: usize| {
+        let mut d = Dag::new(n);
+        for v in 1..n as u32 {
+            d.add_edge(v - 1, v).expect("chain edge");
+        }
+        d
+    };
+    let mut diamond = Dag::new(4);
+    for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+        diamond.add_edge(u, v).expect("diamond edge");
+    }
+    let mut fork = Dag::new(5);
+    for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)] {
+        fork.add_edge(u, v).expect("fork edge");
+    }
+    let job = |id: u32, sizes: &[f64], dag: Dag| {
+        let tasks: Vec<TaskSpec> = sizes.iter().map(|&s| TaskSpec::sized(s)).collect();
+        Job::new(JobId(id), JobClass::Small, Time::ZERO, Time::from_secs(3600), tasks, dag)
+    };
+    vec![
+        vec![job(0, &[1000.0, 2000.0, 1500.0, 800.0], diamond)],
+        vec![job(1, &[1200.0, 900.0, 1100.0], chain(3))],
+        vec![job(2, &[700.0, 1300.0, 500.0, 900.0, 1100.0], fork)],
+        vec![job(3, &[1000.0, 600.0], chain(2)), job(4, &[800.0, 800.0, 400.0], Dag::new(3))],
+    ]
+}
+
+fn bench_milp(opts: &BenchOptions) -> BenchResult {
+    let iters = if opts.quick { 2 } else { 5 };
+    let cluster = uniform(2, 1000.0, 1);
+    let sched = DspIlpScheduler {
+        limits: IlpLimits { warm_start: !opts.baseline, ..IlpLimits::default() },
+    };
+    let instances = milp_instances();
+    let (mut pivots, mut nodes, mut warm_hits) = (0u64, 0u64, 0u64);
+    let wall_ns = time_best(iters, || {
+        pivots = 0;
+        nodes = 0;
+        warm_hits = 0;
+        for jobs in &instances {
+            let (s, outcome, stats) =
+                sched.schedule_with_stats_onto(jobs, &cluster, Time::ZERO, &[]);
+            black_box((s, outcome));
+            pivots += stats.pivots as u64;
+            nodes += stats.nodes as u64;
+            warm_hits += stats.warm_hits as u64;
+        }
+    });
+    BenchResult {
+        name: "exact_milp_fig5_set".into(),
+        wall_ns,
+        iters,
+        counters: vec![
+            ("pivots".into(), pivots),
+            ("bb_nodes".into(), nodes),
+            ("warm_hits".into(), warm_hits),
+            ("instances".into(), instances.len() as u64),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench 4: one end-to-end engine run (schedule + simulate + preempt).
+// ---------------------------------------------------------------------------
+
+fn bench_end_to_end(opts: &BenchOptions) -> BenchResult {
+    // Best-of-8: the full run is only a few ms, and this bench is the
+    // same code in both modes, so wall noise is all a compare would see.
+    let (n_jobs, iters) = if opts.quick { (8, 3) } else { (20, 8) };
+    let cfg = ExperimentConfig {
+        cluster: ClusterProfile::Ec2,
+        num_jobs: n_jobs,
+        seed: BENCH_SEED,
+        sched: SchedMethod::Dsp,
+        preempt: PreemptMethod::Dsp,
+        trace: TraceParams { task_scale: 0.03, ..TraceParams::default() },
+        params: Params::default(),
+    };
+    let mut completed = 0u64;
+    let mut preemptions = 0u64;
+    let wall_ns = time_best(iters, || {
+        let m = run_experiment(&cfg);
+        completed = m.tasks_completed;
+        preemptions = m.preemptions;
+        black_box(m);
+    });
+    BenchResult {
+        name: "end_to_end_engine_run".into(),
+        wall_ns,
+        iters,
+        counters: vec![("tasks_completed".into(), completed), ("preemptions".into(), preemptions)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench 5: online driver ingest — admission + periodic scheduling + sim.
+// ---------------------------------------------------------------------------
+
+fn bench_online_ingest(opts: &BenchOptions) -> BenchResult {
+    let (n_jobs, iters) = if opts.quick { (10, 3) } else { (25, 8) };
+    let jobs = bench_workload(n_jobs, 0.03);
+    let requests: Vec<JobRequest> = jobs.iter().map(JobRequest::from_job).collect();
+    let params = Params::default();
+    let mut pending = 0u64;
+    let mut finished = 0u64;
+    let wall_ns = time_best(iters, || {
+        let scheduler = dsp_service::build_scheduler("dsp").expect("known scheduler");
+        let policy = dsp_service::build_policy("dsp", &params).expect("known policy");
+        let mut driver = dsp_service::OnlineDriver::new(
+            uniform(16, 1000.0, 2),
+            params.engine_config(),
+            params.sched_period,
+            scheduler,
+            policy,
+            AdmissionConfig { max_pending_tasks: 1_000_000, check_feasibility: false },
+        );
+        driver.submit(requests.clone()).expect("admission disabled");
+        driver.advance_to(Time::from_secs(4 * 3600));
+        pending = driver.pending_tasks() as u64;
+        finished = driver.metrics().jobs.len() as u64;
+        black_box(driver.now());
+    });
+    BenchResult {
+        name: "online_driver_ingest".into(),
+        wall_ns,
+        iters,
+        counters: vec![("jobs_finished".into(), finished), ("tasks_pending".into(), pending)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness driver + JSON in/out + compare.
+// ---------------------------------------------------------------------------
+
+/// Run the full pinned matrix, narrating one line per bench on stderr.
+pub fn run_all(opts: &BenchOptions) -> Vec<BenchResult> {
+    let benches: Vec<fn(&BenchOptions) -> BenchResult> = vec![
+        bench_epoch_priority,
+        bench_list_scheduler,
+        bench_milp,
+        bench_end_to_end,
+        bench_online_ingest,
+    ];
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let r = b(opts);
+        eprintln!(
+            "  {:<24} {:>10.3} ms   {}",
+            r.name,
+            r.wall_ns as f64 / 1e6,
+            r.counters.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+        );
+        out.push(r);
+    }
+    out
+}
+
+/// Serialize a harness run as the versioned BENCH document.
+pub fn to_json(results: &[BenchResult], opts: &BenchOptions) -> Json {
+    Json::obj(vec![
+        ("format_version", Json::U64(BENCH_FORMAT_VERSION)),
+        ("label", Json::Str(opts.label.clone())),
+        ("baseline", Json::Bool(opts.baseline)),
+        ("quick", Json::Bool(opts.quick)),
+        ("seed", Json::U64(BENCH_SEED)),
+        (
+            "benches",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("wall_ns", Json::U64(r.wall_ns)),
+                            ("iters", Json::U64(r.iters)),
+                            (
+                                "counters",
+                                Json::Obj(
+                                    r.counters
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_bench_file(text: &str) -> Result<Vec<BenchResult>, String> {
+    let doc = dsp_service::json::parse(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+    match doc.get("format_version").and_then(Json::as_u64) {
+        Some(BENCH_FORMAT_VERSION) => {}
+        v => return Err(format!("unsupported format_version {v:?}")),
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing benches array".to_string())?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "bench missing name".to_string())?
+            .to_string();
+        let wall = b
+            .get("wall_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("bench {name} missing wall_ns"))?;
+        let mut counters = Vec::new();
+        if let Some(Json::Obj(pairs)) = b.get("counters") {
+            for (k, v) in pairs {
+                if let Some(u) = v.as_u64() {
+                    counters.push((k.clone(), u));
+                }
+            }
+        }
+        let iters = b.get("iters").and_then(Json::as_u64).unwrap_or(0);
+        out.push(BenchResult { name, wall_ns: wall, iters, counters });
+    }
+    Ok(out)
+}
+
+/// The outcome of comparing two BENCH documents.
+pub struct CompareReport {
+    /// Human-readable table lines.
+    pub lines: Vec<String>,
+    /// Benches whose wall time regressed past the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Compare two BENCH documents (old first). `threshold_pct` is the
+/// allowed wall-time growth before a bench counts as a regression.
+pub fn compare(
+    old_text: &str,
+    new_text: &str,
+    threshold_pct: f64,
+) -> Result<CompareReport, String> {
+    let old = parse_bench_file(old_text)?;
+    let new = parse_bench_file(new_text)?;
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    lines.push(format!(
+        "{:<24} {:>12} {:>12} {:>8}   counters (old -> new)",
+        "bench", "old ms", "new ms", "ratio"
+    ));
+    for nb in &new {
+        let name = &nb.name;
+        let Some(ob) = old.iter().find(|b| &b.name == name) else {
+            lines.push(format!("{name:<24} {:>12} (new bench, no old measurement)", "-"));
+            continue;
+        };
+        let ratio = nb.wall_ns as f64 / ob.wall_ns.max(1) as f64;
+        let mut note = String::new();
+        for (k, nv) in &nb.counters {
+            if let Some((_, ov)) = ob.counters.iter().find(|(ok, _)| ok == k) {
+                if ov != nv {
+                    note.push_str(&format!(" {k}:{ov}->{nv}"));
+                }
+            }
+        }
+        lines.push(format!(
+            "{name:<24} {:>12.3} {:>12.3} {ratio:>7.2}x  {note}",
+            ob.wall_ns as f64 / 1e6,
+            nb.wall_ns as f64 / 1e6,
+        ));
+        if ratio > 1.0 + threshold_pct / 100.0 {
+            regressions.push(format!(
+                "{name}: {:.3} ms -> {:.3} ms ({:+.1}%)",
+                ob.wall_ns as f64 / 1e6,
+                nb.wall_ns as f64 / 1e6,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    for ob in &old {
+        if !new.iter().any(|b| b.name == ob.name) {
+            lines.push(format!("{:<24} dropped from new file", ob.name));
+        }
+    }
+    Ok(CompareReport { lines, regressions })
+}
+
+fn bench_usage() -> ! {
+    eprintln!(
+        "usage: dsp bench [--quick] [--baseline] [--label NAME] [--out FILE]\n\
+         \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]"
+    );
+    std::process::exit(2)
+}
+
+/// Entry point behind `dsp bench`; returns the process exit code.
+pub fn bench_main(argv: &[String]) -> i32 {
+    let mut opts = BenchOptions::default();
+    let mut out: Option<String> = None;
+    let mut compare_files: Option<(String, String)> = None;
+    let mut threshold = 15.0f64;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| bench_usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--baseline" => opts.baseline = true,
+            "--label" => opts.label = next(&mut i),
+            "--out" => out = Some(next(&mut i)),
+            "--compare" => {
+                let a = next(&mut i);
+                let b = next(&mut i);
+                compare_files = Some((a, b));
+            }
+            "--threshold" => threshold = next(&mut i).parse().unwrap_or_else(|_| bench_usage()),
+            "--help" | "-h" => bench_usage(),
+            _ => bench_usage(),
+        }
+        i += 1;
+    }
+
+    if let Some((old_path, new_path)) = compare_files {
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("dsp bench: cannot read {p}: {e}");
+                std::process::exit(2)
+            })
+        };
+        let (old_text, new_text) = (read(&old_path), read(&new_path));
+        match compare(&old_text, &new_text, threshold) {
+            Ok(report) => {
+                for line in &report.lines {
+                    println!("{line}");
+                }
+                if report.regressions.is_empty() {
+                    println!("no regressions past {threshold}%");
+                    0
+                } else {
+                    println!("REGRESSIONS past {threshold}%:");
+                    for r in &report.regressions {
+                        println!("  {r}");
+                    }
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("dsp bench: {e}");
+                2
+            }
+        }
+    } else {
+        eprintln!(
+            "dsp bench: label={} mode={}{}",
+            opts.label,
+            if opts.baseline { "baseline(ref paths)" } else { "optimized" },
+            if opts.quick { " quick" } else { "" }
+        );
+        let results = run_all(&opts);
+        let doc = to_json(&results, &opts);
+        match &out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                    eprintln!("dsp bench: cannot write {path}: {e}");
+                    return 2;
+                }
+                eprintln!("wrote {path}");
+            }
+            None => println!("{doc}"),
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(baseline: bool) -> BenchOptions {
+        BenchOptions { quick: true, baseline, label: "test".into() }
+    }
+
+    #[test]
+    fn epoch_bench_runs_both_modes() {
+        let opt = bench_epoch_priority(&quick_opts(false));
+        let base = bench_epoch_priority(&quick_opts(true));
+        assert_eq!(opt.name, base.name);
+        assert!(opt.wall_ns > 0 && base.wall_ns > 0);
+        // The engine mode reports its skip/recompute split.
+        assert!(opt.counters.iter().any(|(k, _)| k == "jobs_skipped"));
+    }
+
+    #[test]
+    fn milp_bench_warm_reduces_pivots() {
+        let warm = bench_milp(&quick_opts(false));
+        let cold = bench_milp(&quick_opts(true));
+        let get = |r: &BenchResult, k: &str| {
+            r.counters.iter().find(|(n, _)| n == k).map(|(_, v)| *v).expect("counter")
+        };
+        assert!(get(&warm, "warm_hits") > 0, "warm mode must warm-start");
+        assert_eq!(get(&cold, "warm_hits"), 0, "baseline must stay cold");
+        assert!(
+            get(&warm, "pivots") < get(&cold, "pivots"),
+            "warm start must reduce pivots: {} vs {}",
+            get(&warm, "pivots"),
+            get(&cold, "pivots")
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_and_compare() {
+        let opts = quick_opts(false);
+        let results = vec![
+            BenchResult {
+                name: "a".into(),
+                wall_ns: 1_000_000,
+                iters: 3,
+                counters: vec![("pivots".into(), 10)],
+            },
+            BenchResult { name: "b".into(), wall_ns: 2_000_000, iters: 3, counters: vec![] },
+        ];
+        let old = to_json(&results, &opts).to_string();
+        let mut faster = results.clone();
+        faster[0].wall_ns = 400_000; // a sped up
+        faster[1].wall_ns = 2_600_000; // b regressed 30%
+        let new = to_json(&faster, &opts).to_string();
+        let report = compare(&old, &new, 15.0).expect("parses");
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].starts_with("b:"), "{:?}", report.regressions);
+        let clean = compare(&old, &old, 15.0).expect("parses");
+        assert!(clean.regressions.is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_unknown_version() {
+        let bad = "{\"format_version\": 999, \"benches\": []}";
+        assert!(compare(bad, bad, 15.0).is_err());
+    }
+}

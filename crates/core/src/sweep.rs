@@ -1,11 +1,11 @@
 //! Parallel experiment fan-out.
 //!
 //! Sweeps are embarrassingly parallel: each configuration runs its own
-//! simulation on a crossbeam-scoped worker, results land in a
-//! `parking_lot`-guarded sink, and order is restored by index so output is
-//! deterministic regardless of thread interleaving.
-
-use parking_lot::Mutex;
+//! simulation on a crossbeam-scoped worker, results stream back over an
+//! mpsc channel tagged with their input index, and order is restored by a
+//! final scatter so output is deterministic regardless of thread
+//! interleaving. No lock is held around the result sink — workers never
+//! contend with each other when a long simulation finishes.
 
 /// Map `f` over `inputs` in parallel with at most `threads` workers,
 /// preserving input order in the output. `threads = 0` means one worker
@@ -29,25 +29,31 @@ where
         return inputs.iter().map(&f).collect();
     }
 
-    let slots: Mutex<Vec<Option<R>>> =
-        Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let next_ref = &next;
     let inputs_ref = &inputs;
     let f_ref = &f;
     crossbeam::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f_ref(&inputs_ref[i]);
-                slots.lock()[i] = Some(r);
+                tx.send((i, r)).expect("collector outlives workers");
             });
         }
     })
     .expect("sweep worker panicked");
-    slots.into_inner().into_iter().map(|r| r.expect("every slot filled")).collect()
+    drop(tx); // close the channel so the drain below terminates
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 #[cfg(test)]

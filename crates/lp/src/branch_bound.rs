@@ -2,7 +2,7 @@
 
 use crate::error::{LpError, Status};
 use crate::problem::{Problem, Sense};
-use crate::simplex::{solve_lp, Solution};
+use crate::simplex::{solve_lp, solve_lp_warm, Solution, WarmLp};
 
 /// Integrality tolerance: values this close to an integer count as integral.
 const INT_TOL: f64 = 1e-6;
@@ -15,11 +15,16 @@ pub struct MilpOptions {
     /// Stop once the incumbent is within this absolute gap of the best
     /// bound.
     pub abs_gap: f64,
+    /// Warm-start each child node from its parent's optimal basis by dual
+    /// simplex instead of cold-solving from scratch. Falls back to a cold
+    /// solve per node on numerical trouble, so results are identical either
+    /// way; disable only for baseline measurements.
+    pub warm_start: bool,
 }
 
 impl Default for MilpOptions {
     fn default() -> Self {
-        MilpOptions { max_nodes: 10_000, abs_gap: 1e-6 }
+        MilpOptions { max_nodes: 10_000, abs_gap: 1e-6, warm_start: true }
     }
 }
 
@@ -35,6 +40,12 @@ pub struct MilpSolution {
     pub status: Status,
     /// Number of branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Total simplex pivots across all node LP solves (both phases, dual
+    /// re-entries included).
+    pub pivots: usize,
+    /// Nodes answered by a warm dual-simplex re-entry (0 when
+    /// [`MilpOptions::warm_start`] is off).
+    pub warm_hits: usize,
 }
 
 /// Is `v` integral within tolerance?
@@ -56,9 +67,11 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
         let s = solve_lp(p)?;
         return Ok(MilpSolution {
             objective: s.objective,
+            pivots: s.iterations,
             x: s.x,
             status: Status::Optimal,
             nodes: 1,
+            warm_hits: 0,
         });
     }
 
@@ -72,31 +85,74 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
     struct NodeState {
         problem: Problem,
         depth: usize,
+        /// Parent's optimal tableau with this node's branch row already
+        /// appended, ready for dual-simplex re-entry (`None` → cold solve).
+        warm: Option<WarmLp>,
     }
 
-    let mut stack = vec![NodeState { problem: p.clone(), depth: 0 }];
+    let mut stack = vec![NodeState { problem: p.clone(), depth: 0, warm: None }];
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, min-objective)
     let mut nodes = 0usize;
+    let mut pivots = 0usize;
+    let mut warm_hits = 0usize;
     let mut exhausted = false;
 
-    while let Some(node) = stack.pop() {
+    while let Some(mut node) = stack.pop() {
         if nodes >= opts.max_nodes {
             exhausted = true;
             break;
         }
         nodes += 1;
-        let relax = match solve_lp(&node.problem) {
-            Ok(s) => s,
-            Err(LpError::Infeasible) => continue,
-            Err(LpError::Unbounded) => {
-                // Unbounded relaxation at the root means the MILP itself is
-                // unbounded (or has unbounded relaxation — we surface it).
-                if node.depth == 0 {
-                    return Err(LpError::Unbounded);
+        // Warm path: dual-simplex re-entry from the parent basis. Anything
+        // suspect — iteration trouble, or a point that fails verification
+        // against the node's own bounds — falls back to a cold solve below;
+        // `Infeasible` is a sound verdict and prunes the node directly.
+        let mut warm_solved: Option<(Solution, WarmLp)> = None;
+        let mut warm_pruned = false;
+        if let Some(mut w) = node.warm.take() {
+            match w.resolve() {
+                Ok(s) => {
+                    pivots += s.iterations;
+                    if node.problem.is_feasible(&s.x, 1e-6) {
+                        warm_hits += 1;
+                        warm_solved = Some((s, w));
+                    }
                 }
-                continue;
+                Err(e) => {
+                    pivots += w.iterations();
+                    warm_pruned = matches!(e, LpError::Infeasible);
+                }
             }
-            Err(e) => return Err(e),
+        }
+        if warm_pruned {
+            continue;
+        }
+        let (relax, warm_state) = match warm_solved {
+            Some((s, w)) => (s, Some(w)),
+            None => {
+                let cold = if opts.warm_start {
+                    solve_lp_warm(&node.problem).map(|(s, w)| (s, Some(w)))
+                } else {
+                    solve_lp(&node.problem).map(|s| (s, None))
+                };
+                match cold {
+                    Ok((s, w)) => {
+                        pivots += s.iterations;
+                        (s, w)
+                    }
+                    Err(LpError::Infeasible) => continue,
+                    Err(LpError::Unbounded) => {
+                        // Unbounded relaxation at the root means the MILP
+                        // itself is unbounded (or has unbounded relaxation —
+                        // we surface it).
+                        if node.depth == 0 {
+                            return Err(LpError::Unbounded);
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         };
         let bound = to_min(relax.objective);
         if let Some((_, inc)) = &incumbent {
@@ -132,12 +188,14 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
                 let mut up = node.problem.clone();
                 up.restrict_bounds(v, val.ceil(), f64::INFINITY);
                 if !up.has_empty_bounds(v) {
-                    stack.push(NodeState { problem: up, depth: node.depth + 1 });
+                    let warm = warm_state.as_ref().map(|w| w.child(v.0, false, val.ceil()));
+                    stack.push(NodeState { problem: up, depth: node.depth + 1, warm });
                 }
                 let mut down = node.problem.clone();
                 down.restrict_bounds(v, f64::NEG_INFINITY, val.floor());
                 if !down.has_empty_bounds(v) {
-                    stack.push(NodeState { problem: down, depth: node.depth + 1 });
+                    let warm = warm_state.as_ref().map(|w| w.child(v.0, true, val.floor()));
+                    stack.push(NodeState { problem: down, depth: node.depth + 1, warm });
                 }
             }
         }
@@ -150,7 +208,7 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
                 Sense::Max => -min_obj,
             };
             let status = if exhausted { Status::BudgetExhausted } else { Status::Optimal };
-            Ok(MilpSolution { x, objective, status, nodes })
+            Ok(MilpSolution { x, objective, status, nodes, pivots, warm_hits })
         }
         None if exhausted => Err(LpError::NoIncumbent),
         None => Err(LpError::Infeasible),
@@ -242,7 +300,7 @@ mod tests {
             (0..10).map(|i| p.add_bin_var(format!("v{i}"), (i + 1) as f64)).collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         p.add_constraint("w", terms, Cmp::Le, 9.0);
-        match solve_milp(&p, MilpOptions { max_nodes: 1, abs_gap: 1e-6 }) {
+        match solve_milp(&p, MilpOptions { max_nodes: 1, ..MilpOptions::default() }) {
             Err(LpError::NoIncumbent) => {}
             Ok(s) => assert_eq!(s.status, Status::BudgetExhausted),
             Err(e) => panic!("unexpected {e}"),
@@ -266,6 +324,59 @@ mod tests {
         assert_close(s.objective, 2.0);
         assert_close(s.x[0], 1.0);
         assert_close(s.x[3], 1.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_knapsack() {
+        // The same MILP solved warm and cold must agree on objective and
+        // status; warm should actually use the dual re-entry path.
+        let mut p = Problem::new(Sense::Max);
+        let vars: Vec<_> =
+            (0..8).map(|i| p.add_bin_var(format!("v{i}"), ((i * 7) % 5 + 1) as f64)).collect();
+        let terms: Vec<_> =
+            vars.iter().enumerate().map(|(i, &v)| (v, ((i % 3) + 1) as f64)).collect();
+        p.add_constraint("w", terms, Cmp::Le, 7.0);
+        let warm = solve_milp(&p, MilpOptions::default()).unwrap();
+        let cold =
+            solve_milp(&p, MilpOptions { warm_start: false, ..MilpOptions::default() }).unwrap();
+        assert_eq!(warm.status, Status::Optimal);
+        assert_eq!(cold.status, Status::Optimal);
+        assert_close(warm.objective, cold.objective);
+        assert!(p.is_feasible(&warm.x, 1e-6));
+        assert!(warm.warm_hits > 0, "dual re-entry never fired");
+        assert_eq!(cold.warm_hits, 0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_mixed_equality() {
+        // Equality rows + continuous vars exercise artificials and the
+        // Shifted/ub-row mapping under warm re-entry.
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_int_var("x", 0.0, 6.0, 1.0);
+        let y = p.add_int_var("y", 0.0, 6.0, 2.0);
+        let z = p.add_var("z", 0.0, 3.5, 0.5);
+        p.add_constraint("e", vec![(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Eq, 7.5);
+        p.add_constraint("g", vec![(y, 1.0), (z, -1.0)], Cmp::Ge, 0.5);
+        let warm = solve_milp(&p, MilpOptions::default()).unwrap();
+        let cold =
+            solve_milp(&p, MilpOptions { warm_start: false, ..MilpOptions::default() }).unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert!(p.is_feasible(&warm.x, 1e-6));
+        assert!(is_int(warm.x[0]) && is_int(warm.x[1]));
+    }
+
+    #[test]
+    fn warm_start_agrees_infeasible() {
+        let mut p = Problem::new(Sense::Min);
+        let x = p.add_int_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_int_var("y", 0.0, 10.0, 1.0);
+        // 2x + 2y = 7 has no integral solution.
+        p.add_constraint("e", vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 7.0);
+        assert_eq!(solve_milp(&p, MilpOptions::default()), Err(LpError::Infeasible));
+        assert_eq!(
+            solve_milp(&p, MilpOptions { warm_start: false, ..MilpOptions::default() }),
+            Err(LpError::Infeasible)
+        );
     }
 
     #[test]

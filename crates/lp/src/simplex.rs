@@ -33,8 +33,11 @@ enum VarMap {
 }
 
 struct Standard {
-    /// Rows of the constraint matrix over standard-form columns.
-    rows: Vec<Vec<f64>>,
+    /// Sparse rows `(column, coefficient)` over standard-form columns,
+    /// consolidated and sorted by column. The DSP formulation's
+    /// disjunctive-ordering blocks touch a handful of columns per row, so
+    /// dense rows would cost O(m·n) to build where O(nnz) suffices.
+    rows: Vec<Vec<(usize, f64)>>,
     rhs: Vec<f64>,
     /// Objective over standard-form columns (always *minimize*).
     cost: Vec<f64>,
@@ -98,36 +101,49 @@ fn standardize(p: &Problem) -> Standard {
         }
     }
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut rhs = Vec::new();
     let mut cmps = Vec::new();
+    // Dense scratch reused across constraints: scatter the terms, then
+    // gather the touched columns into a consolidated sorted sparse row.
+    let mut scratch = vec![0.0; n];
+    let mut touched: Vec<usize> = Vec::new();
     for cons in &p.constraints {
-        let mut row = vec![0.0; n];
         let mut b = cons.rhs;
         for &(vid, a) in &cons.terms {
             match map[vid.0] {
                 VarMap::Shifted { col, shift } => {
-                    row[col] += a;
+                    scratch[col] += a;
+                    touched.push(col);
                     b -= a * shift;
                 }
                 VarMap::Flipped { col, ub } => {
-                    row[col] -= a;
+                    scratch[col] -= a;
+                    touched.push(col);
                     b -= a * ub;
                 }
                 VarMap::Split { pos, neg } => {
-                    row[pos] += a;
-                    row[neg] -= a;
+                    scratch[pos] += a;
+                    scratch[neg] -= a;
+                    touched.push(pos);
+                    touched.push(neg);
                 }
             }
         }
+        touched.sort_unstable();
+        touched.dedup();
+        let row: Vec<(usize, f64)> =
+            touched.iter().filter(|&&c| scratch[c] != 0.0).map(|&c| (c, scratch[c])).collect();
+        for &c in &touched {
+            scratch[c] = 0.0;
+        }
+        touched.clear();
         rows.push(row);
         rhs.push(b);
         cmps.push(cons.cmp);
     }
     for (col, ub) in ub_rows {
-        let mut row = vec![0.0; n];
-        row[col] = 1.0;
-        rows.push(row);
+        rows.push(vec![(col, 1.0)]);
         rhs.push(ub);
         cmps.push(Cmp::Le);
     }
@@ -139,7 +155,7 @@ fn standardize(p: &Problem) -> Standard {
     for i in 0..m_rows {
         if rhs[i] < 0.0 {
             rhs[i] = -rhs[i];
-            for a in rows[i].iter_mut() {
+            for (_, a) in rows[i].iter_mut() {
                 *a = -*a;
             }
             cmps[i] = match cmps[i] {
@@ -155,14 +171,13 @@ fn standardize(p: &Problem) -> Standard {
     let total = n + slack_cols;
     let mut next_slack = n;
     for i in 0..m_rows {
-        rows[i].resize(total, 0.0);
         match cmps[i] {
             Cmp::Le => {
-                rows[i][next_slack] = 1.0;
+                rows[i].push((next_slack, 1.0));
                 next_slack += 1;
             }
             Cmp::Ge => {
-                rows[i][next_slack] = -1.0;
+                rows[i].push((next_slack, -1.0));
                 next_slack += 1;
             }
             Cmp::Eq => {}
@@ -174,6 +189,7 @@ fn standardize(p: &Problem) -> Standard {
 }
 
 /// Full-tableau simplex state.
+#[derive(Clone)]
 struct Tableau {
     /// `m × (n+1)` tableau; last column is the rhs.
     t: Vec<Vec<f64>>,
@@ -249,6 +265,60 @@ impl Tableau {
             }
         }
     }
+
+    /// Dual simplex: restore primal feasibility (rhs ≥ 0) while keeping the
+    /// reduced costs non-negative. Entered after appending a violated
+    /// constraint row to an optimal tableau (branch-and-bound warm starts).
+    fn dual_optimize(&mut self, allowed: &[bool], max_iters: usize) -> Result<(), LpError> {
+        loop {
+            if self.iterations > max_iters {
+                return Err(LpError::IterationLimit);
+            }
+            // Leaving row: most negative rhs (tie: smallest basis index).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.t.len() {
+                let b = self.t[r][self.n];
+                if b < -TOL {
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lb)) => {
+                            b < lb - TOL
+                                || ((b - lb).abs() <= TOL && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, b));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else { return Ok(()) };
+            // Dual ratio test: minimize z[j]/−t[row][j] over the negative
+            // entries; ties go to the smallest column index (Bland-style
+            // anti-cycling).
+            let mut enter: Option<(usize, f64)> = None;
+            for (j, &open) in allowed.iter().enumerate().take(self.n) {
+                if !open {
+                    continue;
+                }
+                let a = self.t[row][j];
+                if a < -TOL {
+                    let ratio = self.z[j] / -a;
+                    let better = match enter {
+                        None => true,
+                        Some((_, best)) => ratio < best - TOL,
+                    };
+                    if better {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            match enter {
+                Some((col, _)) => self.pivot(row, col),
+                // No eligible entry: the row reads Σ(≥0)·x = negative.
+                None => return Err(LpError::Infeasible),
+            }
+        }
+    }
 }
 
 /// Solve a linear program (integer markers are ignored — this is the pure
@@ -271,6 +341,28 @@ pub fn solve_lp(p: &Problem) -> Result<Solution, LpError> {
         return Ok(Solution { x: vec![], objective: 0.0, iterations: 0 });
     }
 
+    let s = solve_std(p)?;
+    Ok(extract(&s))
+}
+
+/// A solved (optimal) standard-form tableau plus the mapping data needed to
+/// extract a [`Solution`] or to warm-start a child solve from it.
+#[derive(Clone)]
+struct SolvedLp {
+    tab: Tableau,
+    /// Columns eligible to enter the basis (artificials masked off).
+    allowed: Vec<bool>,
+    /// Standard-form column count (structural + standardize slacks) —
+    /// only these columns map back to original variables.
+    n_base: usize,
+    map: Vec<VarMap>,
+    cost_offset: f64,
+    sense: Sense,
+    num_vars: usize,
+}
+
+/// Run two-phase simplex to optimality and return the solved tableau.
+fn solve_std(p: &Problem) -> Result<SolvedLp, LpError> {
     let std_form = standardize(p);
     let m = std_form.rows.len();
     let n_cols = std_form.cost.len();
@@ -279,12 +371,12 @@ pub fn solve_lp(p: &Problem) -> Result<Solution, LpError> {
     // Build the phase-1 tableau: [A | I | b].
     let mut t: Vec<Vec<f64>> = Vec::with_capacity(m);
     for (i, row) in std_form.rows.iter().enumerate() {
-        let mut r = Vec::with_capacity(n_total + 1);
-        r.extend_from_slice(row);
-        for j in 0..m {
-            r.push(if j == i { 1.0 } else { 0.0 });
+        let mut r = vec![0.0; n_total + 1];
+        for &(c, a) in row {
+            r[c] = a;
         }
-        r.push(std_form.rhs[i]);
+        r[n_cols + i] = 1.0;
+        r[n_total] = std_form.rhs[i];
         t.push(r);
     }
     let basis: Vec<usize> = (n_cols..n_total).collect();
@@ -358,28 +450,172 @@ pub fn solve_lp(p: &Problem) -> Result<Solution, LpError> {
     }
     tab.optimize(&allowed, max_iters)?;
 
+    Ok(SolvedLp {
+        tab,
+        allowed,
+        n_base: n_cols,
+        map: std_form.map,
+        cost_offset: std_form.cost_offset,
+        sense: p.sense,
+        num_vars: p.num_vars(),
+    })
+}
+
+/// Read the optimal point and objective out of a solved tableau.
+fn extract(s: &SolvedLp) -> Solution {
+    let tab = &s.tab;
     // Extract the standard-form point.
-    let mut xs = vec![0.0; n_cols];
-    for r in 0..m {
-        if tab.basis[r] < n_cols {
-            xs[tab.basis[r]] = tab.t[r][n_total];
+    let mut xs = vec![0.0; s.n_base];
+    for r in 0..tab.t.len() {
+        if tab.basis[r] < s.n_base {
+            xs[tab.basis[r]] = tab.t[r][tab.n];
         }
     }
     // Map back to the original variables.
-    let mut x = vec![0.0; p.num_vars()];
-    for (i, vm) in std_form.map.iter().enumerate() {
+    let mut x = vec![0.0; s.num_vars];
+    for (i, vm) in s.map.iter().enumerate() {
         x[i] = match *vm {
             VarMap::Shifted { col, shift } => xs[col] + shift,
             VarMap::Flipped { col, ub } => ub - xs[col],
             VarMap::Split { pos, neg } => xs[pos] - xs[neg],
         };
     }
-    let min_obj = -tab.z[n_total] + std_form.cost_offset;
-    let objective = match p.sense {
+    let min_obj = -tab.z[tab.n] + s.cost_offset;
+    let objective = match s.sense {
         Sense::Min => min_obj,
         Sense::Max => -min_obj,
     };
-    Ok(Solution { x, objective, iterations: tab.iterations })
+    Solution { x, objective, iterations: tab.iterations }
+}
+
+/// Solve an LP and additionally hand back the re-entrant [`WarmLp`] state,
+/// so branch-and-bound can derive child nodes from the optimal basis.
+pub(crate) fn solve_lp_warm(p: &Problem) -> Result<(Solution, WarmLp), LpError> {
+    p.validate()?;
+    let inner = solve_std(p)?;
+    let sol = extract(&inner);
+    Ok((sol, WarmLp { inner }))
+}
+
+/// Re-entrant solver state for branch-and-bound warm starts: the optimal
+/// tableau of a parent node, from which a child node (one extra branching
+/// bound) is re-solved by dual simplex instead of from scratch.
+#[derive(Clone)]
+pub(crate) struct WarmLp {
+    inner: SolvedLp,
+}
+
+impl WarmLp {
+    /// Pivots performed on this tableau since the last (re-)solve began.
+    pub(crate) fn iterations(&self) -> usize {
+        self.inner.tab.iterations
+    }
+
+    /// Derive a child state: clone this optimal tableau and append the
+    /// branch constraint `x_v ≤ bound` (`le`) or `x_v ≥ bound` over the
+    /// *original* variable `v`. The new row gets its own slack column which
+    /// enters the basis, keeping the tableau dual feasible; call
+    /// [`WarmLp::resolve`] to restore primal feasibility.
+    pub(crate) fn child(&self, v: usize, le: bool, bound: f64) -> WarmLp {
+        let src = &self.inner;
+        let n_old = src.tab.n;
+        let new_col = n_old;
+        // Widen every row by the new slack column (kept just before rhs).
+        let mut t: Vec<Vec<f64>> = Vec::with_capacity(src.tab.t.len() + 1);
+        for row in &src.tab.t {
+            let mut r = Vec::with_capacity(n_old + 2);
+            r.extend_from_slice(&row[..n_old]);
+            r.push(0.0);
+            r.push(row[n_old]);
+            t.push(r);
+        }
+        let mut z = Vec::with_capacity(n_old + 2);
+        z.extend_from_slice(&src.tab.z[..n_old]);
+        z.push(0.0);
+        z.push(src.tab.z[n_old]);
+
+        // The branch bound over standard-form columns, normalized to ≤.
+        let mut terms: [(usize, f64); 2] = [(0, 0.0); 2];
+        let mut n_terms = 1;
+        let mut b;
+        let mut le = le;
+        match src.map[v] {
+            VarMap::Shifted { col, shift } => {
+                terms[0] = (col, 1.0);
+                b = bound - shift;
+            }
+            VarMap::Flipped { col, ub } => {
+                // x = ub − x' {≤,≥} bound  ⇔  x' {≥,≤} ub − bound.
+                terms[0] = (col, 1.0);
+                b = ub - bound;
+                le = !le;
+            }
+            VarMap::Split { pos, neg } => {
+                terms[0] = (pos, 1.0);
+                terms[1] = (neg, -1.0);
+                n_terms = 2;
+                b = bound;
+            }
+        }
+        if !le {
+            for (_, a) in terms.iter_mut() {
+                *a = -*a;
+            }
+            b = -b;
+        }
+        let mut row = vec![0.0; n_old + 2];
+        for &(c, a) in &terms[..n_terms] {
+            row[c] = a;
+        }
+        row[new_col] = 1.0;
+        row[n_old + 1] = b;
+        // Express the new row in the current basis: eliminate every basic
+        // column against the row where it is basic. (Old rows are zero in
+        // the new slack column, so its coefficient survives untouched.)
+        for (r, &basic) in t.iter().zip(&src.tab.basis) {
+            let f = row[basic];
+            if f.abs() > TOL {
+                for (dst, srcv) in row.iter_mut().zip(r.iter()) {
+                    *dst -= f * srcv;
+                }
+            }
+        }
+        t.push(row);
+        let mut basis = src.tab.basis.clone();
+        basis.push(new_col);
+        let mut allowed = src.allowed.clone();
+        allowed.push(true);
+        let tab = Tableau { t, z, basis, n: n_old + 1, iterations: 0 };
+        WarmLp {
+            inner: SolvedLp {
+                tab,
+                allowed,
+                n_base: src.n_base,
+                map: src.map.clone(),
+                cost_offset: src.cost_offset,
+                sense: src.sense,
+                num_vars: src.num_vars,
+            },
+        }
+    }
+
+    /// Re-solve after [`WarmLp::child`] appended a branch row: dual simplex
+    /// drives the violated rhs out, then a primal cleanup pass clears any
+    /// residual negative reduced cost. `Infeasible` is definitive; any
+    /// other error means "fall back to a cold solve".
+    pub(crate) fn resolve(&mut self) -> Result<Solution, LpError> {
+        let tab = &mut self.inner.tab;
+        tab.iterations = 0;
+        let max_iters = 20_000 + 200 * (tab.t.len() + tab.n);
+        tab.dual_optimize(&self.inner.allowed, max_iters)?;
+        tab.optimize(&self.inner.allowed, max_iters).map_err(|e| match e {
+            // A child of a bounded parent cannot be unbounded; treat it as
+            // a numerical breakdown so the caller cold-solves.
+            LpError::Unbounded => LpError::IterationLimit,
+            e => e,
+        })?;
+        Ok(extract(&self.inner))
+    }
 }
 
 #[cfg(test)]

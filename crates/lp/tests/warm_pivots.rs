@@ -1,0 +1,31 @@
+//! Warm-start effectiveness: dual re-entry must agree with cold solves and
+//! should not pivot more in total on representative instances.
+
+use dsp_lp::{solve_milp, Cmp, MilpOptions, Problem, Sense, Status};
+
+fn knapsack(items: usize) -> Problem {
+    let mut p = Problem::new(Sense::Max);
+    let vars: Vec<_> =
+        (0..items).map(|i| p.add_bin_var(format!("v{i}"), ((i * 13) % 7 + 1) as f64)).collect();
+    let terms: Vec<_> =
+        vars.iter().enumerate().map(|(i, &v)| (v, ((i * 5) % 4 + 1) as f64)).collect();
+    p.add_constraint("w", terms, Cmp::Le, (items as f64) * 0.9);
+    p
+}
+
+#[test]
+fn warm_reduces_pivots_on_knapsacks() {
+    for items in [8usize, 12, 16] {
+        let p = knapsack(items);
+        let warm = solve_milp(&p, MilpOptions::default()).unwrap();
+        let cold =
+            solve_milp(&p, MilpOptions { warm_start: false, ..MilpOptions::default() }).unwrap();
+        assert_eq!(warm.status, Status::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        println!(
+            "items={items} nodes={}/{} pivots warm={} cold={} hits={}",
+            warm.nodes, cold.nodes, warm.pivots, cold.pivots, warm.warm_hits
+        );
+        assert!(warm.pivots <= cold.pivots, "warm start pivoted more than cold");
+    }
+}

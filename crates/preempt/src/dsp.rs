@@ -25,7 +25,7 @@
 //! time exceeds one epoch, so evicting them cannot push them past their
 //! deadlines.
 
-use crate::priority::{compute_priorities, mean_neighbor_gap, PriorityMap, PriorityWeights};
+use crate::priority::{PriorityEngine, PriorityEngineStats, PriorityWeights};
 use dsp_sim::{NodeView, PreemptAction, PreemptPolicy, TaskSnapshot, WorldCtx};
 use dsp_units::{Dur, Time};
 
@@ -73,16 +73,27 @@ impl Default for DspParams {
 pub struct DspPolicy {
     /// Parameters.
     pub params: DspParams,
-    priorities: PriorityMap,
+    engine: PriorityEngine,
     p_bar: f64,
     name: &'static str,
+    // Per-`decide` scratch, reused across epochs so the hot path allocates
+    // nothing in steady state.
+    cand: Vec<(f64, usize)>,
+    admitted: Vec<bool>,
 }
 
 impl DspPolicy {
     /// Full DSP (with the PP filter).
     pub fn new(params: DspParams) -> Self {
         let name = if params.use_pp { "DSP" } else { "DSPW/oPP" };
-        DspPolicy { params, priorities: PriorityMap::new(), p_bar: 0.0, name }
+        DspPolicy {
+            params,
+            engine: PriorityEngine::new(),
+            p_bar: 0.0,
+            name,
+            cand: Vec::new(),
+            admitted: Vec::new(),
+        }
     }
 
     /// The DSPW/oPP ablation: Algorithm 1 without the normalized-priority
@@ -91,10 +102,21 @@ impl DspPolicy {
         DspPolicy::new(DspParams { use_pp: false, ..DspParams::default() })
     }
 
+    /// Work/skip counters of the incremental priority engine (perf
+    /// harness instrumentation).
+    pub fn priority_stats(&self) -> PriorityEngineStats {
+        self.engine.stats()
+    }
+
+    /// Bytes held by the engine's persistent arenas.
+    pub fn arena_bytes(&self) -> usize {
+        self.engine.arena_bytes()
+    }
+
     fn priority(&self, s: &TaskSnapshot) -> f64 {
         // Tasks can appear between epochs (injection); fall back to the
-        // leaf formula for anything the epoch-start map missed.
-        self.priorities
+        // leaf formula for anything the epoch-start engine missed.
+        self.engine
             .get(&s.id)
             .unwrap_or_else(|| crate::priority::leaf_priority(s, &self.params.weights))
     }
@@ -125,8 +147,8 @@ impl PreemptPolicy for DspPolicy {
     }
 
     fn begin_epoch(&mut self, _now: Time, views: &[NodeView], world: &WorldCtx<'_>) {
-        self.priorities = compute_priorities(views, world, &self.params.weights);
-        self.p_bar = mean_neighbor_gap(&self.priorities);
+        self.engine.begin_epoch(views, world, &self.params.weights);
+        self.p_bar = self.engine.mean_gap();
     }
 
     fn decide(&mut self, now: Time, view: &NodeView, world: &WorldCtx<'_>) -> Vec<PreemptAction> {
@@ -135,13 +157,23 @@ impl PreemptPolicy for DspPolicy {
             return actions;
         }
         // Preemptable running tasks, ascending priority (Algorithm 1 line
-        // 2), with deadline protection.
-        let mut preemptable: Vec<&TaskSnapshot> =
-            view.running.iter().filter(|r| r.allowable_wait > self.params.epoch).collect();
-        preemptable.sort_by(|a, b| {
-            self.priority(a).partial_cmp(&self.priority(b)).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut admitted: Vec<bool> = vec![false; view.waiting.len()];
+        // 2), with deadline protection. The candidate buffer persists
+        // across epochs (taken/restored around the borrow of `self`), and
+        // each candidate's priority is computed once instead of per sort
+        // comparison.
+        let mut preemptable = std::mem::take(&mut self.cand);
+        preemptable.clear();
+        preemptable.extend(
+            view.running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.allowable_wait > self.params.epoch)
+                .map(|(i, r)| (self.priority(r), i)),
+        );
+        preemptable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut admitted = std::mem::take(&mut self.admitted);
+        admitted.clear();
+        admitted.resize(view.waiting.len(), false);
 
         // --- Pass 1: urgent tasks and τ-overdue tasks (lines 3–11). ---
         for (i, w) in view.waiting.iter().enumerate() {
@@ -165,9 +197,11 @@ impl PreemptPolicy for DspPolicy {
                 // DSP's disorder count at zero (Fig. 6a).
                 continue;
             }
-            if let Some(pos) = preemptable.iter().position(|r| !world.depends_on(w.id, r.id)) {
-                let victim = preemptable.remove(pos);
-                actions.push(PreemptAction { evict: victim.id, admit: w.id });
+            if let Some(pos) =
+                preemptable.iter().position(|&(_, r)| !world.depends_on(w.id, view.running[r].id))
+            {
+                let (_, victim) = preemptable.remove(pos);
+                actions.push(PreemptAction { evict: view.running[victim].id, admit: w.id });
                 admitted[i] = true;
             }
         }
@@ -185,11 +219,11 @@ impl PreemptPolicy for DspPolicy {
             let pw = self.priority(w);
             // Walk victims from lowest priority up; C2 skips ancestors.
             let mut chosen: Option<usize> = None;
-            for (j, r) in preemptable.iter().enumerate() {
-                if world.depends_on(w.id, r.id) {
+            for (j, &(rp, r)) in preemptable.iter().enumerate() {
+                if world.depends_on(w.id, view.running[r].id) {
                     continue; // C2
                 }
-                let gap = pw - self.priority(r);
+                let gap = pw - rp;
                 if gap <= 0.0 {
                     // C1 failed against the lowest-priority candidate; all
                     // later candidates have higher priority still.
@@ -205,11 +239,13 @@ impl PreemptPolicy for DspPolicy {
                 }
             }
             if let Some(j) = chosen {
-                let victim = preemptable.remove(j);
-                actions.push(PreemptAction { evict: victim.id, admit: w.id });
+                let (_, victim) = preemptable.remove(j);
+                actions.push(PreemptAction { evict: view.running[victim].id, admit: w.id });
                 admitted[i] = true;
             }
         }
+        self.cand = preemptable;
+        self.admitted = admitted;
         actions
     }
 

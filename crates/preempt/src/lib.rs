@@ -29,5 +29,8 @@ pub mod srpt;
 pub use amoeba::AmoebaPolicy;
 pub use dsp::{DspParams, DspPolicy};
 pub use natjam::NatjamPolicy;
-pub use priority::{compute_priorities, mean_neighbor_gap, PriorityMap, PriorityWeights};
+pub use priority::{
+    compute_priorities, compute_priorities_ref, mean_neighbor_gap, PriorityEngine,
+    PriorityEngineStats, PriorityMap, PriorityWeights,
+};
 pub use srpt::SrptPolicy;

@@ -32,12 +32,27 @@ pub struct IlpLimits {
     pub max_slots: usize,
     /// Branch-and-bound node budget.
     pub max_bb_nodes: usize,
+    /// Warm-start B&B child nodes from the parent basis (dual simplex);
+    /// identical answers either way — off only for baseline measurements.
+    pub warm_start: bool,
 }
 
 impl Default for IlpLimits {
     fn default() -> Self {
-        IlpLimits { max_tasks: 10, max_slots: 4, max_bb_nodes: 20_000 }
+        IlpLimits { max_tasks: 10, max_slots: 4, max_bb_nodes: 20_000, warm_start: true }
     }
+}
+
+/// Branch-and-bound effort counters from the most recent exact solve,
+/// surfaced for the perf harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpStats {
+    /// B&B nodes explored.
+    pub nodes: usize,
+    /// Simplex pivots summed over all node LP solves.
+    pub pivots: usize,
+    /// Nodes answered by warm dual-simplex re-entry.
+    pub warm_hits: usize,
 }
 
 /// The exact-ILP scheduler with list-scheduling fallback.
@@ -79,13 +94,30 @@ impl DspIlpScheduler {
         at: Time,
         node_avail: &[Time],
     ) -> (Schedule, IlpOutcome) {
+        let (s, o, _) = self.schedule_with_stats_onto(jobs, cluster, at, node_avail);
+        (s, o)
+    }
+
+    /// [`Self::schedule_with_outcome_onto`] plus solver effort counters
+    /// (zeros when the list fallback ran without touching the MILP).
+    pub fn schedule_with_stats_onto(
+        &self,
+        jobs: &[Job],
+        cluster: &ClusterSpec,
+        at: Time,
+        node_avail: &[Time],
+    ) -> (Schedule, IlpOutcome, IlpStats) {
         let total: usize = jobs.iter().map(|j| j.num_tasks()).sum();
         let slots = cluster.total_slots();
         if total == 0 {
-            return (Schedule::new(), IlpOutcome::Exact);
+            return (Schedule::new(), IlpOutcome::Exact, IlpStats::default());
         }
         if total > self.limits.max_tasks || slots > self.limits.max_slots {
-            return (self.fallback(jobs, cluster, at, node_avail), IlpOutcome::Fallback);
+            return (
+                self.fallback(jobs, cluster, at, node_avail),
+                IlpOutcome::Fallback,
+                IlpStats::default(),
+            );
         }
         match self.solve_exact(jobs, cluster, at, node_avail, true) {
             Some(r) => r,
@@ -94,7 +126,11 @@ impl DspIlpScheduler {
             // fall back.
             None => match self.solve_exact(jobs, cluster, at, node_avail, false) {
                 Some(r) => r,
-                None => (self.fallback(jobs, cluster, at, node_avail), IlpOutcome::Fallback),
+                None => (
+                    self.fallback(jobs, cluster, at, node_avail),
+                    IlpOutcome::Fallback,
+                    IlpStats::default(),
+                ),
             },
         }
     }
@@ -116,7 +152,7 @@ impl DspIlpScheduler {
         at: Time,
         node_avail: &[Time],
         with_deadlines: bool,
-    ) -> Option<(Schedule, IlpOutcome)> {
+    ) -> Option<(Schedule, IlpOutcome, IlpStats)> {
         // Virtual single-slot nodes.
         let mut vnodes: Vec<NodeId> = Vec::new(); // physical id per slot
         for n in &cluster.nodes {
@@ -259,13 +295,17 @@ impl DspIlpScheduler {
             }
         }
 
-        let sol =
-            solve_milp(&p, MilpOptions { max_nodes: self.limits.max_bb_nodes, abs_gap: 1e-6 })
-                .ok()?;
+        let opts = MilpOptions {
+            max_nodes: self.limits.max_bb_nodes,
+            warm_start: self.limits.warm_start,
+            ..MilpOptions::default()
+        };
+        let sol = solve_milp(&p, opts).ok()?;
         let outcome = match sol.status {
             Status::Optimal => IlpOutcome::Exact,
             _ => IlpOutcome::Incumbent,
         };
+        let stats = IlpStats { nodes: sol.nodes, pivots: sol.pivots, warm_hits: sol.warm_hits };
         let mut schedule = Schedule::new();
         for (t, task) in tasks.iter().enumerate() {
             let k = (0..k_count)
@@ -274,7 +314,7 @@ impl DspIlpScheduler {
             let start = at + dsp_units::Dur::from_secs_f64(sol.x[starts[t].0]);
             schedule.assign(jobs[task.job].task_id(task.v), vnodes[k], start);
         }
-        Some((schedule, outcome))
+        Some((schedule, outcome, stats))
     }
 }
 
@@ -412,6 +452,49 @@ mod tests {
         let cluster = uniform(1, 1000.0, 1);
         let (s, _) = DspIlpScheduler::default().schedule_with_outcome(&jobs, &cluster, Time::ZERO);
         assert!(schedule_covers_jobs(&s, &jobs, &cluster));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_fig5_instances() {
+        // The Fig. 5 small-instance shapes (independent pair, chain,
+        // diamond, two-job mix) must produce identical planned makespans
+        // with and without warm starts, and warm must pivot strictly less
+        // in aggregate. (The trees themselves may differ: a dual re-entry
+        // can land on a different optimal vertex than a cold solve when the
+        // LP has alternate optima, changing the branching order — the
+        // proven objective is what must agree.)
+        let instances: Vec<Vec<Job>> = vec![
+            vec![job_with(0, 2, &[], 3600)],
+            vec![job_with(0, 3, &[(0, 1), (1, 2)], 3600)],
+            vec![job_with(0, 4, &[(0, 1), (0, 2), (1, 3), (2, 3)], 3600)],
+            vec![job_with(0, 4, &[(0, 2), (1, 2)], 3600), job_with(1, 2, &[], 3600)],
+        ];
+        let cluster = uniform(2, 1000.0, 1);
+        let warm_sched = DspIlpScheduler::default();
+        let cold_sched =
+            DspIlpScheduler { limits: IlpLimits { warm_start: false, ..IlpLimits::default() } };
+        let mut total_warm_pivots = 0usize;
+        let mut total_cold_pivots = 0usize;
+        for jobs in &instances {
+            let (ws, wo, wstats) =
+                warm_sched.schedule_with_stats_onto(jobs, &cluster, Time::ZERO, &[]);
+            let (cs, co, cstats) =
+                cold_sched.schedule_with_stats_onto(jobs, &cluster, Time::ZERO, &[]);
+            assert_eq!(wo, IlpOutcome::Exact);
+            assert_eq!(co, IlpOutcome::Exact);
+            assert_eq!(
+                planned_makespan(&ws, jobs, &cluster),
+                planned_makespan(&cs, jobs, &cluster),
+                "warm and cold objective diverged"
+            );
+            assert_eq!(cstats.warm_hits, 0);
+            total_warm_pivots += wstats.pivots;
+            total_cold_pivots += cstats.pivots;
+        }
+        assert!(
+            total_warm_pivots < total_cold_pivots,
+            "warm start did not reduce pivots: {total_warm_pivots} vs {total_cold_pivots}"
+        );
     }
 
     #[test]

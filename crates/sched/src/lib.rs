@@ -31,7 +31,7 @@ pub mod tetris;
 
 pub use aalo::AaloScheduler;
 pub use api::Scheduler;
-pub use dsp_ilp::{DspIlpScheduler, IlpLimits};
+pub use dsp_ilp::{DspIlpScheduler, IlpLimits, IlpStats};
 pub use dsp_list::DspListScheduler;
 pub use fifo::FifoScheduler;
 pub use random::RandomScheduler;

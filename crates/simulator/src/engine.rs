@@ -121,6 +121,9 @@ pub struct Engine {
     /// Straggler rate multiplier per node (1.0 = healthy).
     rate_factor: Vec<f64>,
     fault_plan: crate::faults::FaultPlan,
+    /// Reusable per-epoch node views: the snapshot buffers persist across
+    /// epochs so the policy pass allocates nothing in steady state.
+    view_scratch: Vec<NodeView>,
 }
 
 impl Engine {
@@ -157,6 +160,7 @@ impl Engine {
             dead_forever: vec![false; n],
             rate_factor: vec![1.0; n],
             fault_plan: crate::faults::FaultPlan::none(),
+            view_scratch: Vec::new(),
         };
         e.add_jobs(jobs);
         e
@@ -526,13 +530,14 @@ impl Engine {
             return;
         }
         let slots = self.cluster.nodes[n].slots;
+        // Compact non-waiting entries once so the lookahead window covers
+        // real waiting tasks; within this fill, dispatch is the only
+        // mutation and it removes its entry itself, so one pass suffices.
+        {
+            let tasks = &self.tasks;
+            self.nodes[n].queue.retain(|&g| tasks[g].state == RtState::Waiting);
+        }
         while self.nodes[n].running.len() < slots {
-            // Compact leading non-waiting entries lazily so the lookahead
-            // window covers real waiting tasks.
-            {
-                let tasks = &self.tasks;
-                self.nodes[n].queue.retain(|&g| tasks[g].state == RtState::Waiting);
-            }
             let window = if self.nodes[n].running.is_empty() {
                 self.nodes[n].queue.len()
             } else {
@@ -638,24 +643,21 @@ impl Engine {
         }
     }
 
-    fn build_views(&self) -> Vec<NodeView> {
-        (0..self.nodes.len())
-            .map(|n| {
-                let running = self.nodes[n].running.iter().map(|&g| self.snapshot(g)).collect();
-                let waiting = self.nodes[n]
+    /// Rebuild the epoch's node views into `views`, reusing whatever
+    /// snapshot capacity the buffers already hold.
+    fn build_views_into(&self, views: &mut Vec<NodeView>) {
+        views.resize_with(self.nodes.len(), NodeView::default);
+        for (n, view) in views.iter_mut().enumerate() {
+            view.reset(self.cluster.nodes[n].id, self.cluster.nodes[n].slots);
+            view.running.extend(self.nodes[n].running.iter().map(|&g| self.snapshot(g)));
+            view.waiting.extend(
+                self.nodes[n]
                     .queue
                     .iter()
                     .filter(|&&g| self.tasks[g].state == RtState::Waiting)
-                    .map(|&g| self.snapshot(g))
-                    .collect();
-                NodeView {
-                    node: self.cluster.nodes[n].id,
-                    running,
-                    waiting,
-                    slots: self.cluster.nodes[n].slots,
-                }
-            })
-            .collect()
+                    .map(|&g| self.snapshot(g)),
+            );
+        }
     }
 
     /// Kill the running tasks on node `n`, preserving their progress
@@ -676,13 +678,7 @@ impl Engine {
                 rt.recovery_charges += 1;
             }
             rt.gen += 1; // invalidate the in-flight finish event
-                         // Re-queue in planned-start position.
-            let key = (rt.planned_start.as_micros(), g);
-            let tasks = &self.tasks;
-            let pos = self.nodes[n]
-                .queue
-                .partition_point(|&q| (tasks[q].planned_start.as_micros(), q) < key);
-            self.nodes[n].queue.insert(pos, g);
+            self.nodes[n].insert_by_planned_start(&self.tasks, g);
         }
         victims
     }
@@ -710,12 +706,7 @@ impl Engine {
                 for (i, g) in orphans.into_iter().enumerate() {
                     let dst = survivors[i % survivors.len()];
                     self.tasks[g].node = self.cluster.nodes[dst].id;
-                    let key = (self.tasks[g].planned_start.as_micros(), g);
-                    let tasks = &self.tasks;
-                    let pos = self.nodes[dst]
-                        .queue
-                        .partition_point(|&q| (tasks[q].planned_start.as_micros(), q) < key);
-                    self.nodes[dst].queue.insert(pos, g);
+                    self.nodes[dst].insert_by_planned_start(&self.tasks, g);
                 }
                 self.metrics.on_node_fault(migrated.max(displaced));
                 for &dst in &survivors {
@@ -756,8 +747,9 @@ impl Engine {
     fn handle_epoch(&mut self, policy: &mut dyn PreemptPolicy) {
         if self.finished < self.injected || self.pending_injections > 0 {
             // Work remains; run the policy and re-arm.
+            let mut views = std::mem::take(&mut self.view_scratch);
+            self.build_views_into(&mut views);
             let actions: Vec<(usize, Vec<PreemptAction>)> = {
-                let views = self.build_views();
                 let world = WorldCtx { jobs: &self.jobs, now: self.now };
                 policy.begin_epoch(self.now, &views, &world);
                 views
@@ -766,6 +758,7 @@ impl Engine {
                     .map(|(n, v)| (n, policy.decide(self.now, v, &world)))
                     .collect()
             };
+            self.view_scratch = views;
             let checkpointing = policy.checkpointing();
             for (n, acts) in actions {
                 for act in acts {
@@ -842,11 +835,7 @@ impl Engine {
         }
         self.nodes[n].running.retain(|&x| x != eg);
         // Re-queue at the position its planned start dictates.
-        let key = (self.tasks[eg].planned_start.as_micros(), eg);
-        let tasks = &self.tasks;
-        let pos =
-            self.nodes[n].queue.partition_point(|&g| (tasks[g].planned_start.as_micros(), g) < key);
-        self.nodes[n].queue.insert(pos, eg);
+        self.nodes[n].insert_by_planned_start(&self.tasks, eg);
         self.metrics.on_preemption(recovery);
 
         // --- Dispatch the preempting task. ---
@@ -907,12 +896,23 @@ mod tests {
         s
     }
 
+    /// Fixture: an engine over fresh copies of `jobs`/`cluster` with the
+    /// default config — the boilerplate every test repeats.
+    fn rig(jobs: &[Job], cluster: &ClusterSpec) -> Engine {
+        rig_with(jobs, cluster, EngineConfig::default())
+    }
+
+    /// [`rig`] with a custom engine config.
+    fn rig_with(jobs: &[Job], cluster: &ClusterSpec, cfg: EngineConfig) -> Engine {
+        Engine::new(jobs.to_vec(), cluster.clone(), cfg)
+    }
+
     #[test]
     fn single_task_runs_for_exec_time() {
         // 1000 MI at 1000 MIPS (uniform rate = 0.5·1000 + 0.5·1000) = 1 s.
         let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(100));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.tasks_completed, 1);
@@ -927,7 +927,7 @@ mod tests {
         let jobs = mk_jobs(&[1000.0, 1000.0], &[], Time::from_secs(100));
         for (slots, want) in [(1usize, 2u64), (2, 1)] {
             let cluster = uniform(1, 1000.0, slots);
-            let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+            let mut e = rig(&jobs, &cluster);
             e.add_batch(Time::ZERO, all_to_node0(&jobs));
             let m = e.run(&mut NoPreempt);
             assert_eq!(m.makespan(), Dur::from_secs(want), "slots={slots}");
@@ -943,7 +943,7 @@ mod tests {
         let mut s = Schedule::new();
         s.assign(TaskId::new(0, 1), NodeId(0), Time::ZERO); // child first
         s.assign(TaskId::new(0, 0), NodeId(0), Time::from_secs(1));
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, s);
         let m = e.run(&mut NoPreempt);
         // Serial despite 2 slots: 2 s, and no disorder (queue skipping is
@@ -967,7 +967,7 @@ mod tests {
         s.assign(TaskId::new(0, 1), NodeId(0), Time::from_secs(1));
         s.assign(TaskId::new(0, 2), NodeId(1), Time::from_secs(1));
         s.assign(TaskId::new(0, 3), NodeId(0), Time::from_secs(2));
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, s);
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.makespan(), Dur::from_secs(3));
@@ -977,7 +977,7 @@ mod tests {
     fn waiting_time_is_recorded() {
         let jobs = mk_jobs(&[1000.0, 1000.0], &[], Time::from_secs(100));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         // Task 0 waits 0 s, task 1 waits 1 s → job mean 0.5 s.
@@ -988,7 +988,7 @@ mod tests {
     fn late_batch_injection() {
         let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(100));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::from_secs(5), all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.end_time, Time::from_secs(6));
@@ -1029,9 +1029,9 @@ mod tests {
         // exceeds the no-preemption 20 s because of the overhead.
         let jobs = mk_jobs(&[10_000.0, 10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(
-            jobs.clone(),
-            cluster.clone(),
+        let mut e = rig_with(
+            &jobs,
+            &cluster,
             EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
         );
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
@@ -1082,9 +1082,9 @@ mod tests {
         let jobs = mk_jobs(&[10_000.0, 10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
         let run = |checkpoint: bool| {
-            let mut e = Engine::new(
-                jobs.clone(),
-                cluster.clone(),
+            let mut e = rig_with(
+                &jobs,
+                &cluster,
                 EngineConfig { epoch: Dur::from_secs(5), ..EngineConfig::default() },
             );
             e.add_batch(Time::ZERO, all_to_node0(&jobs));
@@ -1130,7 +1130,7 @@ mod tests {
     fn dependency_violating_dispatch_counts_disorder() {
         let jobs = mk_jobs(&[5_000.0, 1_000.0], &[(0, 1)], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut Disorderly);
         assert!(m.disorders > 0, "disorders = {}", m.disorders);
@@ -1147,7 +1147,7 @@ mod tests {
         for (node, want_secs) in [(0u32, 2u64), (1, 1)] {
             let mut s = Schedule::new();
             s.assign(TaskId::new(0, 0), NodeId(node), Time::ZERO);
-            let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+            let mut e = rig(&jobs, &cluster);
             e.add_batch(Time::ZERO, s);
             let m = e.run(&mut NoPreempt);
             assert_eq!(m.makespan(), Dur::from_secs(want_secs), "node {node}");
@@ -1158,7 +1158,7 @@ mod tests {
     fn deadline_outcome_recorded() {
         let jobs = mk_jobs(&[2000.0], &[], Time::from_millis(500));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.jobs_completed(), 1);
@@ -1174,7 +1174,7 @@ mod tests {
         // 5 + 1.05 + 8 = 14.05 s.
         let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().crash(NodeId(0), Time::from_secs(2), Time::from_secs(5)));
         let m = e.run(&mut NoPreempt);
@@ -1189,7 +1189,7 @@ mod tests {
         // on node 1.
         let jobs = mk_jobs(&[5_000.0, 5_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(2, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().kill(NodeId(0), Time::from_secs(1)));
         let m = e.run(&mut NoPreempt);
@@ -1207,7 +1207,7 @@ mod tests {
         // context switch is charged.
         let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().straggle(NodeId(0), Time::from_secs(5), 0.5));
         let m = e.run(&mut NoPreempt);
@@ -1224,7 +1224,7 @@ mod tests {
         // 6 s → finish at t = 12.
         let jobs = mk_jobs(&[10_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         e.add_faults(FaultPlan::none().straggle(NodeId(0), Time::from_secs(2), 0.5).straggle(
             NodeId(0),
@@ -1239,7 +1239,7 @@ mod tests {
     fn crash_during_idle_is_harmless() {
         let jobs = mk_jobs(&[1_000.0], &[], Time::from_secs(10_000));
         let cluster = uniform(2, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         e.add_batch(Time::ZERO, all_to_node0(&jobs));
         // Node 1 (never used) crashes and recovers; node 0 finishes its
         // task untouched.
@@ -1257,7 +1257,7 @@ mod tests {
     fn empty_schedule_terminates() {
         let jobs = mk_jobs(&[1000.0], &[], Time::from_secs(1));
         let cluster = uniform(1, 1000.0, 1);
-        let mut e = Engine::new(jobs.clone(), cluster.clone(), EngineConfig::default());
+        let mut e = rig(&jobs, &cluster);
         let m = e.run(&mut NoPreempt);
         assert_eq!(m.tasks_completed, 0);
         assert_eq!(m.makespan(), Dur::ZERO);

@@ -53,6 +53,24 @@ pub struct NodeView {
     pub slots: usize,
 }
 
+impl NodeView {
+    /// Clear and re-key the view for reuse across epochs: the snapshot
+    /// buffers keep their capacity, so a steady-state epoch pass allocates
+    /// nothing.
+    pub fn reset(&mut self, node: NodeId, slots: usize) {
+        self.node = node;
+        self.slots = slots;
+        self.running.clear();
+        self.waiting.clear();
+    }
+}
+
+impl Default for NodeView {
+    fn default() -> Self {
+        NodeView { node: NodeId(0), running: Vec::new(), waiting: Vec::new(), slots: 0 }
+    }
+}
+
 /// Read-only world context shared by all nodes within one epoch.
 pub struct WorldCtx<'a> {
     /// All jobs of the run, sorted by ascending `JobId` (ids need not be

@@ -207,6 +207,16 @@ pub struct NodeRt {
     pub running: Vec<usize>,
 }
 
+impl NodeRt {
+    /// Insert waiting task `g` at the position its planned start dictates
+    /// (ties break by dense index — the engine's global queue order).
+    pub fn insert_by_planned_start(&mut self, tasks: &[TaskRt], g: usize) {
+        let key = (tasks[g].planned_start.as_micros(), g);
+        let pos = self.queue.partition_point(|&q| (tasks[q].planned_start.as_micros(), q) < key);
+        self.queue.insert(pos, g);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

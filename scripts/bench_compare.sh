@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json perf-harness files and fail on regression.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [THRESHOLD_PCT]
+#
+# Thin wrapper over `dsp bench --compare`: exits 0 when every shared bench
+# stayed within THRESHOLD_PCT (default 15) of the old wall time, 1 when one
+# regressed past it, 2 on usage/file errors. The build is expected to exist
+# already (cargo build --release -p dsp-bench).
+set -euo pipefail
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+  echo "usage: scripts/bench_compare.sh OLD.json NEW.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+
+BIN=${CARGO_TARGET_DIR:-target}/release
+exec "$BIN/dsp" bench --compare "$1" "$2" --threshold "${3:-15}"
