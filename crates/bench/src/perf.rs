@@ -56,11 +56,14 @@ pub struct BenchOptions {
     pub baseline: bool,
     /// Free-form tag recorded in the output (`pr3`, `baseline`, ...).
     pub label: String,
+    /// B&B frontier worker threads for the MILP bench (`0` = auto; results
+    /// are bit-identical at every count — this only moves wall time).
+    pub threads: usize,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
-        BenchOptions { quick: false, baseline: false, label: "dev".into() }
+        BenchOptions { quick: false, baseline: false, label: "dev".into(), threads: 0 }
     }
 }
 
@@ -280,14 +283,20 @@ fn bench_milp(opts: &BenchOptions) -> BenchResult {
     let iters = if opts.quick { 2 } else { 5 };
     let cluster = uniform(2, 1000.0, 1);
     let sched = DspIlpScheduler {
-        limits: IlpLimits { warm_start: !opts.baseline, ..IlpLimits::default() },
+        limits: IlpLimits {
+            warm_start: !opts.baseline,
+            threads: opts.threads,
+            ..IlpLimits::default()
+        },
     };
     let instances = milp_instances();
-    let (mut pivots, mut nodes, mut warm_hits) = (0u64, 0u64, 0u64);
+    let (mut pivots, mut nodes, mut warm_hits, mut rounds) = (0u64, 0u64, 0u64, 0u64);
+    let mut workers = 0u64;
     let wall_ns = time_best(iters, || {
         pivots = 0;
         nodes = 0;
         warm_hits = 0;
+        rounds = 0;
         for jobs in &instances {
             let (s, outcome, stats) =
                 sched.schedule_with_stats_onto(jobs, &cluster, Time::ZERO, &[]);
@@ -295,6 +304,8 @@ fn bench_milp(opts: &BenchOptions) -> BenchResult {
             pivots += stats.pivots as u64;
             nodes += stats.nodes as u64;
             warm_hits += stats.warm_hits as u64;
+            rounds += stats.rounds as u64;
+            workers = workers.max(stats.per_worker.len() as u64);
         }
     });
     BenchResult {
@@ -305,6 +316,8 @@ fn bench_milp(opts: &BenchOptions) -> BenchResult {
             ("pivots".into(), pivots),
             ("bb_nodes".into(), nodes),
             ("warm_hits".into(), warm_hits),
+            ("bb_rounds".into(), rounds),
+            ("workers".into(), workers),
             ("instances".into(), instances.len() as u64),
         ],
     }
@@ -413,6 +426,7 @@ pub fn to_json(results: &[BenchResult], opts: &BenchOptions) -> Json {
         ("label", Json::Str(opts.label.clone())),
         ("baseline", Json::Bool(opts.baseline)),
         ("quick", Json::Bool(opts.quick)),
+        ("threads", Json::U64(opts.threads as u64)),
         ("seed", Json::U64(BENCH_SEED)),
         (
             "benches",
@@ -538,7 +552,7 @@ pub fn compare(
 
 fn bench_usage() -> ! {
     eprintln!(
-        "usage: dsp bench [--quick] [--baseline] [--label NAME] [--out FILE]\n\
+        "usage: dsp bench [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]\n\
          \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]"
     );
     std::process::exit(2)
@@ -559,6 +573,7 @@ pub fn bench_main(argv: &[String]) -> i32 {
         match argv[i].as_str() {
             "--quick" => opts.quick = true,
             "--baseline" => opts.baseline = true,
+            "--threads" => opts.threads = next(&mut i).parse().unwrap_or_else(|_| bench_usage()),
             "--label" => opts.label = next(&mut i),
             "--out" => out = Some(next(&mut i)),
             "--compare" => {
@@ -630,7 +645,7 @@ mod tests {
     use super::*;
 
     fn quick_opts(baseline: bool) -> BenchOptions {
-        BenchOptions { quick: true, baseline, label: "test".into() }
+        BenchOptions { quick: true, baseline, label: "test".into(), threads: 0 }
     }
 
     #[test]

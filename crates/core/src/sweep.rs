@@ -20,11 +20,10 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    // `.max(1)` guards the degenerate corners (a host reporting zero
-    // parallelism, future edits to the auto rule): the worker count must
-    // never reach zero or the spawn loop below would produce no output.
-    let workers = if threads == 0 { n.min(hw) } else { threads.min(n) }.max(1);
+    // One resolution rule for every pool in the workspace (env override,
+    // `threads == 0` auto, clamp to work items, never zero) — shared with
+    // the B&B frontier pool in `dsp-lp`.
+    let workers = dsp_lp::resolve_workers(threads, n);
     if workers <= 1 {
         return inputs.iter().map(&f).collect();
     }

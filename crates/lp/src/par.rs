@@ -1,0 +1,77 @@
+//! Worker-count resolution shared by every thread pool in the workspace.
+//!
+//! Both the branch-and-bound frontier pool ([`crate::branch_bound`]) and
+//! `dsp-core`'s sweep fan-out take a `threads` knob with the same contract:
+//! an explicit count is used as-is, `0` means *auto* — the `DSP_THREADS`
+//! environment variable when set to a positive integer, the machine's
+//! available parallelism otherwise. The resolved count is clamped to the
+//! number of independent work items and never drops to zero, so a pool can
+//! always make progress. Centralizing the rule here keeps the env override
+//! and the `threads == 0` guard from being re-implemented (and drifting)
+//! per pool.
+
+/// Environment variable overriding auto ( `threads == 0` ) resolution for
+/// every pool in the workspace. Ignored unless it parses as a positive
+/// integer.
+pub const THREADS_ENV: &str = "DSP_THREADS";
+
+/// Resolve a requested worker count against `cap` parallel work items.
+///
+/// * `requested >= 1` — taken literally (still clamped to `cap`).
+/// * `requested == 0` — auto: [`THREADS_ENV`] when set and positive,
+///   otherwise [`std::thread::available_parallelism`].
+///
+/// The result is always in `1..=max(cap, 1)`, so callers never spawn a
+/// zero-worker pool even for degenerate inputs.
+pub fn resolve_workers(requested: usize, cap: usize) -> usize {
+    let env = std::env::var(THREADS_ENV).ok();
+    resolve_from(requested, cap, env.as_deref(), hardware_threads())
+}
+
+/// Hardware threads the host can actually run at once (a best guess of 4
+/// when the platform can't say). Pools use this both for auto resolution
+/// and to decide whether waking a helper thread can possibly overlap with
+/// the waker — on a single-core host it cannot, it only adds context
+/// switches.
+pub(crate) fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+/// Pure core of [`resolve_workers`], split out so the rule is testable
+/// without mutating process-global environment state.
+fn resolve_from(requested: usize, cap: usize, env: Option<&str>, hw: usize) -> usize {
+    let auto = || env.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0).unwrap_or(hw);
+    let req = if requested == 0 { auto() } else { requested };
+    req.min(cap).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_count_wins_over_env() {
+        assert_eq!(resolve_from(3, 100, Some("8"), 16), 3);
+    }
+
+    #[test]
+    fn auto_prefers_env_then_hw() {
+        assert_eq!(resolve_from(0, 100, Some("6"), 16), 6);
+        assert_eq!(resolve_from(0, 100, None, 16), 16);
+    }
+
+    #[test]
+    fn garbage_or_zero_env_falls_back_to_hw() {
+        assert_eq!(resolve_from(0, 100, Some("none"), 8), 8);
+        assert_eq!(resolve_from(0, 100, Some("0"), 8), 8);
+        assert_eq!(resolve_from(0, 100, Some(" 5 "), 8), 5);
+    }
+
+    #[test]
+    fn clamped_to_cap_and_at_least_one() {
+        assert_eq!(resolve_from(64, 3, None, 16), 3);
+        assert_eq!(resolve_from(0, 2, Some("8"), 16), 2);
+        assert_eq!(resolve_from(0, 0, None, 16), 1);
+        assert_eq!(resolve_from(5, 0, None, 16), 1);
+    }
+}

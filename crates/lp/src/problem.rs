@@ -119,19 +119,6 @@ impl Problem {
         self.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| VarId(i)).collect()
     }
 
-    /// Tighten (never widen) a variable's bounds — used by branch-and-bound.
-    pub(crate) fn restrict_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
-        let var = &mut self.vars[v.0];
-        var.lower = var.lower.max(lower);
-        var.upper = var.upper.min(upper);
-    }
-
-    /// True when a variable's bound interval is empty — a branch node with
-    /// such a variable is trivially infeasible.
-    pub(crate) fn has_empty_bounds(&self, v: VarId) -> bool {
-        self.vars[v.0].lower > self.vars[v.0].upper
-    }
-
     /// Mark an existing variable integral (test/property-test helper; the
     /// normal path is [`Problem::add_int_var`]).
     pub fn vars_make_integer_for_test(&mut self, i: usize) {

@@ -602,11 +602,15 @@ impl WarmLp {
     /// Re-solve after [`WarmLp::child`] appended a branch row: dual simplex
     /// drives the violated rhs out, then a primal cleanup pass clears any
     /// residual negative reduced cost. `Infeasible` is definitive; any
-    /// other error means "fall back to a cold solve".
-    pub(crate) fn resolve(&mut self) -> Result<Solution, LpError> {
+    /// other error means "fall back to a cold solve". `pivot_cap` lowers
+    /// the iteration budget below the solver's own limit — branch-and-bound
+    /// threads its `warm_pivot_cap` fault-injection knob through here so
+    /// tests can force the cold-solve fallback deterministically.
+    pub(crate) fn resolve(&mut self, pivot_cap: Option<usize>) -> Result<Solution, LpError> {
         let tab = &mut self.inner.tab;
         tab.iterations = 0;
-        let max_iters = 20_000 + 200 * (tab.t.len() + tab.n);
+        let auto = 20_000 + 200 * (tab.t.len() + tab.n);
+        let max_iters = pivot_cap.map_or(auto, |cap| cap.min(auto));
         tab.dual_optimize(&self.inner.allowed, max_iters)?;
         tab.optimize(&self.inner.allowed, max_iters).map_err(|e| match e {
             // A child of a bounded parent cannot be unbounded; treat it as

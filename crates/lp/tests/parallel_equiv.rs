@@ -1,0 +1,101 @@
+//! Equivalence tier for the parallel branch-and-bound engine.
+//!
+//! The engine's contract is *bit-for-bit determinism*: at every thread
+//! count, the same MILP must yield the identical objective, the identical
+//! variable assignment, and the identical explored tree (node, pivot,
+//! warm-hit, and round counts). These property tests drive randomly
+//! generated feasible-by-construction MILPs through `threads ∈ {2, 4, 8}`
+//! and compare every field against the `threads = 1` reference — any
+//! scheduling-dependent pruning, incumbent race, or merge-order leak shows
+//! up as a counterexample here.
+
+use dsp_lp::{solve_milp, Cmp, LpError, MilpOptions, Problem, Sense};
+use proptest::prelude::*;
+
+/// Build `min c·x  s.t.  A x ≤ b, 0 ≤ x ≤ 10, x integral` where
+/// `b = A·x0 + slack` for an integral witness `x0` — a feasible MILP by
+/// construction. Same scheme as `tests/prop.rs`.
+fn feasible_milp(
+    n: usize,
+    m: usize,
+    a_vals: &[i32],
+    x0_vals: &[i32],
+    c_vals: &[i32],
+    slack: &[i32],
+) -> Problem {
+    let mut p = Problem::new(Sense::Min);
+    let x0: Vec<f64> = (0..n).map(|i| (x0_vals[i % x0_vals.len()].rem_euclid(11)) as f64).collect();
+    let c: Vec<f64> = (0..n).map(|i| (c_vals[i % c_vals.len()] % 7) as f64).collect();
+    let vars: Vec<_> = (0..n).map(|i| p.add_int_var(format!("x{i}"), 0.0, 10.0, c[i])).collect();
+    for r in 0..m {
+        let coeffs: Vec<f64> =
+            (0..n).map(|i| (a_vals[(r * n + i) % a_vals.len()] % 5) as f64).collect();
+        let lhs0: f64 = coeffs.iter().zip(&x0).map(|(a, x)| a * x).sum();
+        let b = lhs0 + (slack[r % slack.len()].rem_euclid(4)) as f64;
+        p.add_constraint(format!("c{r}"), vars.iter().copied().zip(coeffs).collect(), Cmp::Le, b);
+    }
+    p
+}
+
+/// Solve at a thread count and keep everything the determinism contract
+/// covers (i.e. all of `MilpSolution` except the per-worker split).
+fn fingerprint(p: &Problem, threads: usize) -> (Vec<u64>, u64, usize, usize, usize, usize) {
+    let s = solve_milp(p, MilpOptions { threads, ..MilpOptions::default() })
+        .expect("witness-constructed MILP is feasible");
+    let x_bits = s.x.iter().map(|v| v.to_bits()).collect();
+    (x_bits, s.objective.to_bits(), s.nodes, s.pivots, s.warm_hits, s.rounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// threads ∈ {2, 4, 8} must replay the threads = 1 solve exactly:
+    /// identical objective bits, identical assignment bits, identical
+    /// explored-node count (plus pivots / warm hits / rounds for free).
+    #[test]
+    fn any_thread_count_replays_the_sequential_solve(
+        n in 1usize..6,
+        m in 1usize..6,
+        a_vals in prop::collection::vec(-10i32..10, 1..36),
+        x0_vals in prop::collection::vec(0i32..11, 1..6),
+        c_vals in prop::collection::vec(-10i32..10, 1..6),
+        slack in prop::collection::vec(0i32..4, 1..6),
+    ) {
+        let p = feasible_milp(n, m, &a_vals, &x0_vals, &c_vals, &slack);
+        let reference = fingerprint(&p, 1);
+        for threads in [2usize, 4, 8] {
+            let par = fingerprint(&p, threads);
+            prop_assert_eq!(
+                &par, &reference,
+                "threads={} diverged from sequential: {:?} vs {:?}",
+                threads, par, reference
+            );
+        }
+    }
+
+    /// Infeasible MILPs (integrality gap with no integral point) must be
+    /// proven infeasible identically at every thread count — the pruning
+    /// proof, not just the incumbent, has to be scheduling-independent.
+    #[test]
+    fn infeasibility_proofs_agree_across_thread_counts(
+        n in 1usize..4,
+        denom in 2i32..5,
+    ) {
+        // Each variable is boxed strictly between two integers
+        // (k + 1/denom .. k + 1 - 1/denom), so no integral point exists.
+        let mut p = Problem::new(Sense::Min);
+        for i in 0..n {
+            let k = i as f64;
+            let eps = 1.0 / f64::from(denom);
+            p.add_int_var(format!("x{i}"), k + eps, k + 1.0 - eps * 0.5, 1.0);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let r = solve_milp(&p, MilpOptions { threads, ..MilpOptions::default() });
+            prop_assert_eq!(
+                r.as_ref().err(),
+                Some(&LpError::Infeasible),
+                "threads={} returned {:?}", threads, r
+            );
+        }
+    }
+}

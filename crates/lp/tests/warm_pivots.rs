@@ -13,6 +13,51 @@ fn knapsack(items: usize) -> Problem {
     p
 }
 
+/// Force every dual re-entry to fail and verify the cold-solve fallback.
+///
+/// A branch row is always violated at the parent optimum (the branched
+/// variable sits strictly between floor and ceil), so restoring primal
+/// feasibility needs at least one dual pivot — `warm_pivot_cap: Some(0)`
+/// therefore makes *every* warm re-entry hit its iteration limit, which is
+/// exactly the dual-infeasible-abort path. The engine must take the cold
+/// fallback at each node and land on the same proven objective (and the
+/// same tree: a capped run degenerates to the `warm_start: false` run,
+/// since a from-scratch `solve_lp` and a warm `solve_lp_warm` produce
+/// identical solutions).
+#[test]
+fn capped_warm_reentry_falls_back_to_cold_with_same_objective() {
+    for items in [8usize, 12, 16] {
+        let p = knapsack(items);
+        let capped =
+            solve_milp(&p, MilpOptions { warm_pivot_cap: Some(0), ..MilpOptions::default() })
+                .unwrap();
+        let warm = solve_milp(&p, MilpOptions::default()).unwrap();
+        let scratch =
+            solve_milp(&p, MilpOptions { warm_start: false, ..MilpOptions::default() }).unwrap();
+        // Fallback taken at every node: no warm hit survives the cap...
+        assert_eq!(capped.warm_hits, 0, "items={items}: a capped re-entry still hit");
+        // ...but the uncapped engine does warm-start on the same instance,
+        // so the cap is what forced the fallback.
+        assert!(warm.warm_hits > 0, "items={items}: control run never warm-started");
+        // Same proven objective as solving each node from scratch, and the
+        // identical tree (the fallback replays the cold solve bit-for-bit).
+        assert_eq!(capped.objective.to_bits(), scratch.objective.to_bits(), "items={items}");
+        assert_eq!(capped.x, scratch.x, "items={items}");
+        assert_eq!(capped.nodes, scratch.nodes, "items={items}");
+        assert_eq!(capped.status, Status::Optimal);
+        // Each aborted re-entry burns its pivots before giving up, so the
+        // capped run pays strictly more than from-scratch on an instance
+        // that actually branches — evidence the warm path genuinely ran
+        // and failed rather than being skipped.
+        assert!(
+            capped.pivots > scratch.pivots,
+            "items={items}: capped {} vs scratch {}",
+            capped.pivots,
+            scratch.pivots
+        );
+    }
+}
+
 #[test]
 fn warm_reduces_pivots_on_knapsacks() {
     for items in [8usize, 12, 16] {

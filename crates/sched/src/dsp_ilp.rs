@@ -19,7 +19,7 @@ use crate::api::Scheduler;
 use crate::dsp_list::DspListScheduler;
 use dsp_cluster::{ClusterSpec, NodeId};
 use dsp_dag::{deadline::level_deadlines, Job};
-use dsp_lp::{solve_milp, Cmp, MilpOptions, Problem, Sense, Status, VarId};
+use dsp_lp::{solve_milp, Cmp, MilpOptions, Problem, Sense, Status, VarId, WorkerCounters};
 use dsp_sim::Schedule;
 use dsp_units::Time;
 
@@ -35,17 +35,31 @@ pub struct IlpLimits {
     /// Warm-start B&B child nodes from the parent basis (dual simplex);
     /// identical answers either way — off only for baseline measurements.
     pub warm_start: bool,
+    /// Worker threads for the B&B frontier pool (`0` = auto: `DSP_THREADS`
+    /// env var, else available parallelism). Results are bit-identical at
+    /// every thread count; this only trades wall time.
+    pub threads: usize,
 }
 
 impl Default for IlpLimits {
     fn default() -> Self {
-        IlpLimits { max_tasks: 10, max_slots: 4, max_bb_nodes: 20_000, warm_start: true }
+        IlpLimits {
+            max_tasks: 10,
+            max_slots: 4,
+            max_bb_nodes: 20_000,
+            warm_start: true,
+            threads: 0,
+        }
     }
 }
 
 /// Branch-and-bound effort counters from the most recent exact solve,
 /// surfaced for the perf harness.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// All fields except `per_worker` are deterministic — independent of the
+/// thread count and OS scheduling. The per-worker split records which
+/// worker happened to grab which node and is observability only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IlpStats {
     /// B&B nodes explored.
     pub nodes: usize,
@@ -53,6 +67,11 @@ pub struct IlpStats {
     pub pivots: usize,
     /// Nodes answered by warm dual-simplex re-entry.
     pub warm_hits: usize,
+    /// Synchronous frontier rounds taken by the parallel B&B engine.
+    pub rounds: usize,
+    /// Per-worker node/steal counters (scheduling-dependent; empty when
+    /// the MILP was never touched or the pure-LP shortcut fired).
+    pub per_worker: Vec<WorkerCounters>,
 }
 
 /// The exact-ILP scheduler with list-scheduling fallback.
@@ -298,6 +317,7 @@ impl DspIlpScheduler {
         let opts = MilpOptions {
             max_nodes: self.limits.max_bb_nodes,
             warm_start: self.limits.warm_start,
+            threads: self.limits.threads,
             ..MilpOptions::default()
         };
         let sol = solve_milp(&p, opts).ok()?;
@@ -305,7 +325,13 @@ impl DspIlpScheduler {
             Status::Optimal => IlpOutcome::Exact,
             _ => IlpOutcome::Incumbent,
         };
-        let stats = IlpStats { nodes: sol.nodes, pivots: sol.pivots, warm_hits: sol.warm_hits };
+        let stats = IlpStats {
+            nodes: sol.nodes,
+            pivots: sol.pivots,
+            warm_hits: sol.warm_hits,
+            rounds: sol.rounds,
+            per_worker: sol.per_worker,
+        };
         let mut schedule = Schedule::new();
         for (t, task) in tasks.iter().enumerate() {
             let k = (0..k_count)
