@@ -468,6 +468,7 @@ fn serve_main(argv: &[String]) {
     let mut params = Params::default();
     let mut time_scale = 600.0_f64;
     let mut admission = dsp_service::AdmissionConfig::default();
+    let mut read_cache = true;
     let mut i = 0;
     let next = |i: &mut usize| -> String {
         *i += 1;
@@ -503,6 +504,13 @@ fn serve_main(argv: &[String]) {
                 admission.max_pending_tasks = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--no-feasibility" => admission.check_feasibility = false,
+            "--read-cache" => {
+                read_cache = match next(&mut i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -519,8 +527,13 @@ fn serve_main(argv: &[String]) {
         policy,
         admission,
     );
-    let config =
-        dsp_service::ServerConfig { addr, time_scale, tick: std::time::Duration::from_millis(10) };
+    let config = dsp_service::ServerConfig {
+        addr,
+        time_scale,
+        tick: std::time::Duration::from_millis(10),
+        read_cache,
+        ..Default::default()
+    };
     let handle = dsp_service::serve(driver, config).unwrap_or_else(|e| {
         eprintln!("dsp: failed to bind: {e}");
         std::process::exit(1)

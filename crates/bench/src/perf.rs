@@ -59,11 +59,21 @@ pub struct BenchOptions {
     /// B&B frontier worker threads for the MILP bench (`0` = auto; results
     /// are bit-identical at every count — this only moves wall time).
     pub threads: usize,
+    /// Also run the TCP service read-latency benches (`--service`): read
+    /// p50/p99 under a concurrent drain, once against the snapshot cache
+    /// and once with reads routed through the write queue.
+    pub service: bool,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
-        BenchOptions { quick: false, baseline: false, label: "dev".into(), threads: 0 }
+        BenchOptions {
+            quick: false,
+            baseline: false,
+            label: "dev".into(),
+            threads: 0,
+            service: false,
+        }
     }
 }
 
@@ -393,6 +403,148 @@ fn bench_online_ingest(opts: &BenchOptions) -> BenchResult {
 }
 
 // ---------------------------------------------------------------------------
+// Bench 6 (--service): TCP read latency while a drain runs the simulation
+// dry. Run twice in the same invocation — once served from the published
+// snapshot cache, once with reads routed through the write-command queue
+// (the serialize-everything baseline `--read-cache off` exposes) — so the
+// p99 contrast is measured under identical load.
+// ---------------------------------------------------------------------------
+
+fn sorted_percentile(sorted: &[u64], pct: f64) -> u64 {
+    let rank = ((sorted.len() as f64 * pct / 100.0).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn bench_service_read(opts: &BenchOptions, cached: bool) -> BenchResult {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let n_jobs = if opts.quick { 40 } else { 100 };
+    let jobs = bench_workload(n_jobs, 0.02);
+    let requests: Vec<JobRequest> = jobs.iter().map(JobRequest::from_job).collect();
+    let params = Params::default();
+    let driver = dsp_service::OnlineDriver::new(
+        uniform(8, 1000.0, 2),
+        params.engine_config(),
+        params.sched_period,
+        dsp_service::build_scheduler("dsp").expect("known scheduler"),
+        dsp_service::build_policy("dsp", &params).expect("known policy"),
+        AdmissionConfig { max_pending_tasks: 1_000_000, check_feasibility: false },
+    );
+    // Freeze the simulated clock: every bit of engine work happens inside
+    // the drain command, which is exactly the window being measured.
+    let handle = dsp_service::serve(
+        driver,
+        dsp_service::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(5),
+            read_cache: cached,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr.to_string();
+
+    let mut submitter = dsp_service::Client::connect(&addr).expect("connect");
+    for chunk in requests.chunks(10) {
+        let resp = submitter.call(&dsp_service::wire::submit_request(chunk)).expect("submit");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    // A pool of pre-warmed reader connections. During the drain, one read
+    // is dispatched every `interval` on the next idle connection — the
+    // shape of a fleet of monitoring clients polling on a cadence. With
+    // the snapshot cache each read returns from the latest boundary
+    // publish and its connection is immediately reusable; with reads in
+    // the write queue each read blocks until the drain completes, so the
+    // pool saturates and every sample is a convoy wait.
+    const POOL: usize = 16;
+    let interval = std::time::Duration::from_millis(5);
+    let metrics_req = Json::obj(vec![("op", Json::Str("metrics".into()))]);
+    let mut pool: Vec<dsp_service::Client> = Vec::with_capacity(POOL);
+    for _ in 0..POOL {
+        let mut c = dsp_service::Client::connect(&addr).expect("connect");
+        c.call(&metrics_req).expect("pre-drain read");
+        pool.push(c);
+    }
+
+    let drained = Arc::new(AtomicBool::new(false));
+    let drain_thread = {
+        let drained = Arc::clone(&drained);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = dsp_service::Client::connect(&addr).expect("connect");
+            let t0 = Instant::now();
+            let resp =
+                c.call(&Json::obj(vec![("op", Json::Str("drain".into()))])).expect("drain call");
+            let wall = t0.elapsed();
+            drained.store(true, Ordering::SeqCst);
+            (resp, wall)
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(2));
+
+    // Only reads answered while the drain was in flight (`draining: true`
+    // in the response) count toward the percentiles — pre-drain reads are
+    // uncontended in both modes and would bury the convoy in the tail.
+    let samples: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let (idle_tx, idle_rx) = std::sync::mpsc::channel::<dsp_service::Client>();
+    let mut in_flight: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let cap = Instant::now() + std::time::Duration::from_secs(60);
+    while !drained.load(Ordering::SeqCst) && Instant::now() < cap {
+        while let Ok(c) = idle_rx.try_recv() {
+            pool.push(c);
+        }
+        if let Some(mut c) = pool.pop() {
+            let samples = Arc::clone(&samples);
+            let idle_tx = idle_tx.clone();
+            let req = metrics_req.clone();
+            in_flight.push(std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let Ok(resp) = c.call(&req) else { return };
+                let ns = t0.elapsed().as_nanos() as u64;
+                if resp.get("draining").and_then(Json::as_bool) == Some(true) {
+                    samples.lock().expect("samples lock").push(ns);
+                }
+                let _ = idle_tx.send(c);
+            }));
+        }
+        std::thread::sleep(interval);
+    }
+    for t in in_flight {
+        let _ = t.join();
+    }
+    let (resp, drain_wall) = drain_thread.join().expect("drain thread");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    handle.wait();
+
+    let mut latencies = std::mem::take(&mut *samples.lock().expect("samples lock"));
+    if latencies.is_empty() {
+        // Degenerate race (drain faster than one dispatch interval): record
+        // a zero-width sample rather than panicking on an empty set.
+        latencies.push(0);
+    }
+    latencies.sort_unstable();
+    let p50 = sorted_percentile(&latencies, 50.0);
+    let p99 = sorted_percentile(&latencies, 99.0);
+    BenchResult {
+        name: if cached { "service_read_cached" } else { "service_read_mutex" }.into(),
+        // Headline number = the tail read: what a monitoring client can
+        // actually see while the service is busy.
+        wall_ns: p99,
+        iters: latencies.len() as u64,
+        counters: vec![
+            ("read_p50_ns".into(), p50),
+            ("read_p99_ns".into(), p99),
+            ("reads".into(), latencies.len() as u64),
+            ("drain_ms".into(), drain_wall.as_millis() as u64),
+            ("jobs".into(), n_jobs as u64),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Harness driver + JSON in/out + compare.
 // ---------------------------------------------------------------------------
 
@@ -405,16 +557,28 @@ pub fn run_all(opts: &BenchOptions) -> Vec<BenchResult> {
         bench_end_to_end,
         bench_online_ingest,
     ];
-    let mut out = Vec::with_capacity(benches.len());
-    for b in benches {
-        let r = b(opts);
+    let narrate = |r: &BenchResult| {
         eprintln!(
             "  {:<24} {:>10.3} ms   {}",
             r.name,
             r.wall_ns as f64 / 1e6,
             r.counters.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
         );
+    };
+    let mut out = Vec::with_capacity(benches.len() + 2);
+    for b in benches {
+        let r = b(opts);
+        narrate(&r);
         out.push(r);
+    }
+    if opts.service {
+        // Same run, same workload, both modes — the p99 contrast is the
+        // read lane's whole argument.
+        for cached in [true, false] {
+            let r = bench_service_read(opts, cached);
+            narrate(&r);
+            out.push(r);
+        }
     }
     out
 }
@@ -552,7 +716,7 @@ pub fn compare(
 
 fn bench_usage() -> ! {
     eprintln!(
-        "usage: dsp bench [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]\n\
+        "usage: dsp bench [--quick] [--baseline] [--service] [--threads N] [--label NAME] [--out FILE]\n\
          \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]"
     );
     std::process::exit(2)
@@ -573,6 +737,7 @@ pub fn bench_main(argv: &[String]) -> i32 {
         match argv[i].as_str() {
             "--quick" => opts.quick = true,
             "--baseline" => opts.baseline = true,
+            "--service" => opts.service = true,
             "--threads" => opts.threads = next(&mut i).parse().unwrap_or_else(|_| bench_usage()),
             "--label" => opts.label = next(&mut i),
             "--out" => out = Some(next(&mut i)),
@@ -645,7 +810,7 @@ mod tests {
     use super::*;
 
     fn quick_opts(baseline: bool) -> BenchOptions {
-        BenchOptions { quick: true, baseline, label: "test".into(), threads: 0 }
+        BenchOptions { quick: true, baseline, label: "test".into(), threads: 0, service: false }
     }
 
     #[test]

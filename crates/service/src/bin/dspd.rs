@@ -4,7 +4,7 @@
 //! dspd [--addr HOST:PORT] [--cluster ec2|palmetto|uniform:N:RATE:SLOTS]
 //!      [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none]
 //!      [--period SECS] [--epoch SECS] [--time-scale F]
-//!      [--max-pending TASKS] [--no-feasibility]
+//!      [--max-pending TASKS] [--no-feasibility] [--read-cache on|off]
 //! ```
 //!
 //! Binds the socket (port 0 picks an ephemeral port), prints
@@ -12,6 +12,9 @@
 //! delimited JSON protocol until a client sends `{"op":"drain"}`.
 //! `--time-scale` is simulated seconds per wall second; the default 600
 //! crosses one 300 s scheduling period every half wall-second.
+//! `--read-cache off` routes reads through the write-command queue
+//! (the serialize-everything baseline) instead of the published
+//! snapshot — kept for A/B measurement, not production use.
 
 use dsp_core::config::Params;
 use dsp_service::{build_cluster, build_policy, build_scheduler, serve, AdmissionConfig};
@@ -24,7 +27,7 @@ fn usage() -> ! {
         "usage: dspd [--addr HOST:PORT] [--cluster ec2|palmetto|uniform:N:RATE:SLOTS] \
          [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none] \
          [--period SECS] [--epoch SECS] [--time-scale F] [--max-pending TASKS] \
-         [--no-feasibility]"
+         [--no-feasibility] [--read-cache on|off]"
     );
     std::process::exit(2)
 }
@@ -38,6 +41,7 @@ fn main() {
     let mut params = Params::default();
     let mut time_scale = 600.0_f64;
     let mut admission = AdmissionConfig::default();
+    let mut read_cache = true;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -74,6 +78,13 @@ fn main() {
                 admission.max_pending_tasks = next(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--no-feasibility" => admission.check_feasibility = false,
+            "--read-cache" => {
+                read_cache = match next(&mut i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -92,7 +103,13 @@ fn main() {
         admission,
     );
 
-    let config = dsp_service::ServerConfig { addr, time_scale, tick: Duration::from_millis(10) };
+    let config = dsp_service::ServerConfig {
+        addr,
+        time_scale,
+        tick: Duration::from_millis(10),
+        read_cache,
+        ..Default::default()
+    };
     let handle = match serve(driver, config) {
         Ok(h) => h,
         Err(e) => {

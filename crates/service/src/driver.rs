@@ -12,10 +12,12 @@
 
 use crate::admission::{check_feasible, AdmissionConfig, AdmitError};
 use crate::codec::Snapshot;
+use crate::state::StateSnapshot;
 use dsp_dag::{validate_jobs, Dag, Job, JobClass, JobId, TaskSpec};
 use dsp_metrics::RunMetrics;
 use dsp_sim::{Engine, EngineConfig, FaultPlan, JobProgress, PreemptPolicy, Schedule};
 use dsp_units::{Dur, Time};
+use std::sync::Arc;
 
 /// A job as a client submits it: no id (the service assigns the next
 /// monotone [`JobId`]), no arrival (submission instant), and a deadline
@@ -85,8 +87,11 @@ pub enum JobStatus {
 }
 
 /// The long-running service core. Owns the engine, scheduler, and
-/// preemption policy; single-threaded by design (the server wraps it in a
-/// mutex and serializes access).
+/// preemption policy; single-threaded by design. The server gives it to
+/// exactly one driver-owner thread that drains a bounded command queue
+/// and publishes an immutable [`StateSnapshot`] after every mutation —
+/// read requests are served from the published view and never reach the
+/// driver (DESIGN.md §10.5).
 pub struct OnlineDriver {
     engine: Engine,
     scheduler: Box<dyn dsp_sched::Scheduler + Send>,
@@ -267,19 +272,53 @@ impl OnlineDriver {
     }
 
     /// Stop admitting, flush the queue immediately, run the simulation
-    /// dry, and return the final auditable snapshot.
+    /// dry, and return the final auditable snapshot. Equivalent to
+    /// [`OnlineDriver::drain_with`] with a no-op observer.
     pub fn drain(&mut self) -> Snapshot {
+        self.drain_with(&mut |_| {})
+    }
+
+    /// Drain incrementally: flush the queue, then advance boundary by
+    /// boundary until the engine idles, calling `observe` after the flush
+    /// and after every boundary so the server can publish intermediate
+    /// snapshots — readers watching a long drain see `now`,
+    /// `periods_elapsed`, and task counters move monotonically instead of
+    /// one frozen pre-drain view. The event order (and therefore the
+    /// final history, metrics, and schedule) is identical to a single
+    /// `step_until(Time::MAX)`: slicing a `step_until` is exactly how
+    /// [`OnlineDriver::advance_to`] already drives the engine.
+    pub fn drain_with(&mut self, observe: &mut dyn FnMut(&OnlineDriver)) -> Snapshot {
         self.draining = true;
         let now = self.now();
         self.flush_pending_at(now);
-        self.engine.step_until(self.policy.as_mut(), Time::MAX);
+        // Prime the engine before consulting `idle()`: batches staged on a
+        // never-stepped engine are not yet counted as pending injections, so
+        // without this step a drain issued before the first tick would report
+        // idle and skip the simulation entirely.
+        self.engine.step_until(self.policy.as_mut(), now);
+        observe(self);
+        while !self.engine.idle() {
+            let before = self.now();
+            let boundary = self.next_boundary;
+            self.advance_to(boundary);
+            if self.now() == before {
+                // The engine clamped at `max_time` short of the next
+                // boundary; run the tail dry in one final step.
+                self.engine.step_until(self.policy.as_mut(), Time::MAX);
+                observe(self);
+                break;
+            }
+            observe(self);
+        }
         self.snapshot()
     }
 
     /// The current auditable state: jobs injected so far, the merged
     /// offline plan, execution history, and live metrics. During a run
     /// the history contains incomplete tasks; after [`OnlineDriver::drain`]
-    /// it is final.
+    /// it is final. This is the **only** constructor of [`Snapshot`] in
+    /// the service: the drain return value, the `snapshot` wire op, and
+    /// the read lane's published artifact are all built here.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             cluster: self.engine.cluster().clone(),
@@ -288,6 +327,47 @@ impl OnlineDriver {
             history: self.engine.history(),
             metrics: self.engine.metrics().clone(),
         }
+    }
+
+    /// A cheap change stamp over everything [`OnlineDriver::snapshot`]
+    /// serializes: equal stamps across two instants mean the artifact
+    /// would be byte-identical, so the publisher can reuse the previous
+    /// `Arc` instead of re-cloning jobs and history on quiet ticks.
+    pub fn change_stamp(&self) -> (u64, u64, u64) {
+        (self.engine.events_processed(), self.batches_scheduled, u64::from(self.next_id))
+    }
+
+    /// Every known job's status, ascending id. Pending jobs always carry
+    /// ids above every injected job (a flush empties the whole queue), so
+    /// engine order followed by queue order is already sorted.
+    pub fn statuses(&self) -> Vec<(JobId, JobStatus)> {
+        let mut out = Vec::with_capacity(self.engine.jobs().len() + self.pending.len());
+        for job in self.engine.jobs() {
+            if let Some(progress) = self.engine.job_progress(job.id) {
+                out.push((job.id, JobStatus::Active(progress)));
+            }
+        }
+        out.extend(self.pending.iter().map(|j| (j.id, JobStatus::Pending)));
+        out
+    }
+
+    /// Build the read lane's published view (see [`StateSnapshot`]).
+    /// `version` is the publish sequence number; `artifact` is the
+    /// auditable snapshot, passed in so the publisher can share one `Arc`
+    /// across quiet ticks (same [`OnlineDriver::change_stamp`]).
+    pub fn state_snapshot(&self, version: u64, artifact: Arc<Snapshot>) -> StateSnapshot {
+        StateSnapshot::new(
+            version,
+            self.now(),
+            self.next_boundary,
+            self.periods_elapsed,
+            self.batches_scheduled,
+            self.pending_tasks,
+            self.draining,
+            self.engine.metrics().clone(),
+            self.statuses(),
+            artifact,
+        )
     }
 }
 

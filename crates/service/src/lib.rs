@@ -15,8 +15,13 @@
 //!   jobs at the door;
 //! * [`wire`] — the newline-delimited JSON protocol (`submit`, `status`,
 //!   `metrics`, `snapshot`, `drain`);
-//! * [`server`] — `std::net` TCP front end (`dspd`) and a minimal
-//!   blocking [`server::Client`];
+//! * [`state`] — the read lane: after every mutation the driver-owner
+//!   thread publishes an immutable [`state::StateSnapshot`] into a
+//!   [`state::SnapshotCell`], and `status`/`metrics`/`snapshot`/`ping`
+//!   are answered from it without ever touching the driver;
+//! * [`server`] — `std::net` TCP front end (`dspd`): a bounded command
+//!   queue feeding the single driver-owner thread (the write lane), the
+//!   wall-clock ticker, and a minimal blocking [`server::Client`];
 //! * [`json`] / [`codec`] — a dependency-free JSON kernel and the
 //!   versioned artifact format (`format_version` stamps) shared with the
 //!   `dsp` CLI's dump/verify paths.
@@ -28,12 +33,14 @@ pub mod codec;
 pub mod driver;
 pub mod json;
 pub mod server;
+pub mod state;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmitError};
 pub use codec::{Snapshot, FORMAT_VERSION};
 pub use driver::{JobRequest, JobStatus, OnlineDriver};
 pub use server::{serve, Client, ServerConfig, ServerHandle};
+pub use state::{SnapshotCell, StateSnapshot};
 
 use dsp_core::config::Params;
 

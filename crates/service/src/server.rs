@@ -1,13 +1,28 @@
 //! The TCP front end: accept loop, per-connection threads, and the clock
 //! that maps wall time onto simulation time.
 //!
-//! Concurrency model: one listener thread accepts connections and spawns a
-//! handler thread per client; one ticker thread advances the shared
-//! [`OnlineDriver`] so scheduling periods and preemption epochs fire even
-//! while no client is talking. All of them serialize on a single
-//! `parking_lot::Mutex<OnlineDriver>` — the driver is cheap per call and
-//! the contention domain is tiny, so a coarse lock beats a channel
-//! architecture here.
+//! Concurrency model (DESIGN.md §10.5): the request path is split into
+//! two lanes.
+//!
+//! * **Write lane** — `submit` and `drain` (plus the ticker's clock
+//!   advances) are commands on a *bounded* FIFO queue drained by a
+//!   single driver-owner thread. The [`OnlineDriver`] is owned by that
+//!   thread outright — there is no mutex to convoy on — so mutations
+//!   are serialized exactly as before, but with FIFO fairness across
+//!   connections and explicit backpressure (a full queue blocks the
+//!   submitting client, not the whole service).
+//! * **Read lane** — `ping`, `status`, `metrics`, `snapshot` are served
+//!   from the [`SnapshotCell`]: an immutable [`StateSnapshot`] the owner
+//!   thread re-publishes after every mutation (and at every boundary of
+//!   a drain). Read handlers hold no driver reference at all — the type
+//!   split in [`wire::handle_read`] makes touching the driver impossible
+//!   — so a drain running the simulation dry or a fat submit cannot
+//!   stall a monitoring client. Staleness is bounded by one mutation.
+//!
+//! `ServerConfig::read_cache` is the A/B off-switch: with it off, reads
+//! are routed through the command queue too, restoring the old
+//! serialize-everything behavior (`dsp bench --service` measures the
+//! difference; `dspd --read-cache off` exposes it operationally).
 //!
 //! **Time**: the simulation clock runs at `time_scale` simulated seconds
 //! per wall second. The paper's cadences (300 s scheduling period, 5 s
@@ -15,12 +30,14 @@
 //! say, 600 crosses a scheduling period every half wall-second while
 //! keeping event order identical to an offline run at the same instants.
 
+use crate::codec::Snapshot;
 use crate::driver::OnlineDriver;
+use crate::state::{SnapshotCell, StateSnapshot};
 use crate::wire;
-use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +52,12 @@ pub struct ServerConfig {
     pub time_scale: f64,
     /// Wall interval between driver advances.
     pub tick: Duration,
+    /// Serve reads from the published snapshot cache (the default). Off
+    /// routes reads through the command queue — the serialize-everything
+    /// baseline kept for A/B measurement (`--read-cache off`).
+    pub read_cache: bool,
+    /// Bound on queued write commands; a full queue blocks the sender.
+    pub queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -43,8 +66,22 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             time_scale: 600.0,
             tick: Duration::from_millis(10),
+            read_cache: true,
+            queue_depth: 128,
         }
     }
+}
+
+/// One unit of work for the driver-owner thread.
+enum Command {
+    /// A client mutation; the response goes back on the reply channel.
+    Write(wire::WriteRequest, SyncSender<wire::Response>),
+    /// A client read in `read_cache: false` mode: answered from the
+    /// published snapshot, but only after every earlier command — the
+    /// old mutex-convoy behavior, preserved for A/B benchmarks.
+    ReadThrough(wire::ReadRequest, SyncSender<wire::Response>),
+    /// The ticker mapping wall time onto simulation time.
+    Tick(dsp_units::Time),
 }
 
 /// A running service instance.
@@ -54,10 +91,16 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
     ticker_thread: Option<JoinHandle<()>>,
+    owner_thread: Option<JoinHandle<()>>,
 }
 
+/// What every connection handler can see: the command queue, the read
+/// cache, and the stop flag. Deliberately **not** the driver — only the
+/// owner thread holds that.
 struct Shared {
-    driver: Mutex<OnlineDriver>,
+    commands: SyncSender<Command>,
+    reads: Arc<SnapshotCell>,
+    read_cache: bool,
     shutdown: AtomicBool,
 }
 
@@ -69,15 +112,73 @@ impl Shared {
     fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
+
+    /// Send one command and wait for its reply. Errors (owner gone mid-
+    /// shutdown) surface as a `draining` refusal rather than a hang.
+    fn roundtrip(
+        &self,
+        make: impl FnOnce(SyncSender<wire::Response>) -> Command,
+    ) -> wire::Response {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        if self.commands.send(make(reply_tx)).is_ok() {
+            if let Ok(response) = reply_rx.recv() {
+                return response;
+            }
+        }
+        wire::Response {
+            body: wire::error_response("draining", "service is shutting down"),
+            shutdown: false,
+        }
+    }
 }
 
-/// Boot the service: bind, start the clock, start accepting.
+/// Publishes [`StateSnapshot`]s into the cell after driver mutations,
+/// reusing the heavyweight artifact `Arc` across quiet ticks (same
+/// [`OnlineDriver::change_stamp`] — nothing to re-serialize).
+struct Publisher {
+    cell: Arc<SnapshotCell>,
+    version: u64,
+    stamp: (u64, u64, u64),
+    artifact: Arc<Snapshot>,
+}
+
+impl Publisher {
+    fn publish(&mut self, driver: &OnlineDriver) {
+        let stamp = driver.change_stamp();
+        if stamp != self.stamp {
+            self.artifact = Arc::new(driver.snapshot());
+            self.stamp = stamp;
+        }
+        self.version += 1;
+        self.cell.publish(driver.state_snapshot(self.version, Arc::clone(&self.artifact)));
+    }
+}
+
+/// Boot the service: bind, start the driver-owner thread and the clock,
+/// start accepting.
 pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let shared = Arc::new(Shared { driver: Mutex::new(driver), shutdown: AtomicBool::new(false) });
+    // Seed the read lane before the first connection can land.
+    let artifact = Arc::new(driver.snapshot());
+    let stamp = driver.change_stamp();
+    let cell = Arc::new(SnapshotCell::new(driver.state_snapshot(0, Arc::clone(&artifact))));
+    let (commands, command_rx) = sync_channel(config.queue_depth.max(1));
+
+    let shared = Arc::new(Shared {
+        commands,
+        reads: Arc::clone(&cell),
+        read_cache: config.read_cache,
+        shutdown: AtomicBool::new(false),
+    });
+
+    let owner_thread = {
+        let shared = Arc::clone(&shared);
+        let publisher = Publisher { cell, version: 0, stamp, artifact };
+        std::thread::spawn(move || drive(driver, command_rx, publisher, &shared))
+    };
 
     let ticker_thread = {
         let shared = Arc::clone(&shared);
@@ -88,11 +189,12 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
             while !shared.stopping() {
                 std::thread::sleep(tick);
                 let target = dsp_units::Time::from_secs_f64(start.elapsed().as_secs_f64() * scale);
-                let mut driver = shared.driver.lock();
-                if driver.is_draining() {
-                    break;
+                // A full queue means the owner is busy with client work;
+                // skipping a tick is fine — the next one re-targets.
+                match shared.commands.try_send(Command::Tick(target)) {
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
-                driver.advance_to(target);
             }
         })
     };
@@ -124,7 +226,57 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
         shared,
         accept_thread: Some(accept_thread),
         ticker_thread: Some(ticker_thread),
+        owner_thread: Some(owner_thread),
     })
+}
+
+/// The driver-owner loop: the only code that ever touches the
+/// [`OnlineDriver`] after boot. Commands are processed strictly FIFO;
+/// after each mutation the publisher swaps a fresh snapshot into the
+/// read cell. Exits once shutdown is flagged and the queue stays empty
+/// for one poll interval (late commands still get answered).
+fn drive(
+    mut driver: OnlineDriver,
+    commands: Receiver<Command>,
+    mut publisher: Publisher,
+    shared: &Shared,
+) {
+    loop {
+        let command = match commands.recv_timeout(Duration::from_millis(50)) {
+            Ok(c) => c,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stopping() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match command {
+            Command::Tick(target) => {
+                if driver.is_draining() {
+                    continue;
+                }
+                driver.advance_to(target);
+                publisher.publish(&driver);
+            }
+            Command::Write(request, reply) => {
+                let response =
+                    wire::handle_write(&mut driver, request, &mut |d| publisher.publish(d));
+                publisher.publish(&driver);
+                let shutdown = response.shutdown;
+                // A dropped reply channel (client hung up mid-call) must
+                // not kill the service.
+                let _ = reply.send(response);
+                if shutdown {
+                    shared.stop();
+                }
+            }
+            Command::ReadThrough(request, reply) => {
+                let _ = reply.send(wire::handle_read(&publisher.cell.load(), request));
+            }
+        }
+    }
 }
 
 fn handle_client(stream: TcpStream, shared: &Shared) {
@@ -161,9 +313,18 @@ fn handle_client(stream: TcpStream, shared: &Shared) {
             continue;
         }
         let response = match wire::parse_request(&line) {
-            Ok(request) => {
-                let mut driver = shared.driver.lock();
-                wire::handle(&mut driver, request)
+            // The read lane: answered from the published snapshot alone.
+            // This arm has no path to the driver — `handle_read` only
+            // accepts the immutable view.
+            Ok(wire::Request::Read(request)) if shared.read_cache => {
+                wire::handle_read(&shared.reads.load(), request)
+            }
+            // A/B baseline: reads serialized behind the write queue.
+            Ok(wire::Request::Read(request)) => {
+                shared.roundtrip(|reply| Command::ReadThrough(request, reply))
+            }
+            Ok(wire::Request::Write(request)) => {
+                shared.roundtrip(|reply| Command::Write(request, reply))
             }
             Err(msg) => {
                 wire::Response { body: wire::error_response("bad_request", &msg), shutdown: false }
@@ -175,13 +336,18 @@ fn handle_client(stream: TcpStream, shared: &Shared) {
             break;
         }
         if response.shutdown {
-            shared.stop();
             break;
         }
     }
 }
 
 impl ServerHandle {
+    /// The read lane's publish point — what `status`/`metrics`/`snapshot`
+    /// are answered from. Exposed for tests and in-process tooling.
+    pub fn reads(&self) -> Arc<StateSnapshot> {
+        self.shared.reads.load()
+    }
+
     /// Has a drain (or explicit shutdown) been requested?
     pub fn is_stopping(&self) -> bool {
         self.shared.stopping()
@@ -192,27 +358,29 @@ impl ServerHandle {
         self.shared.stop();
     }
 
-    /// Block until the accept loop and clock exit (after a `drain`
-    /// request or [`ServerHandle::shutdown`]).
-    pub fn wait(mut self) {
+    fn join_all(&mut self) {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
         if let Some(h) = self.ticker_thread.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.owner_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the accept loop, clock, and driver-owner exit (after
+    /// a `drain` request or [`ServerHandle::shutdown`]).
+    pub fn wait(mut self) {
+        self.join_all();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shared.stop();
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.ticker_thread.take() {
-            let _ = h.join();
-        }
+        self.join_all();
     }
 }
 

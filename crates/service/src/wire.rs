@@ -15,32 +15,58 @@
 //! Every response carries `"ok": bool`; failures add a stable `"reason"`
 //! token (`bad_request`, `backpressure`, `infeasible`, `invalid`,
 //! `draining`, `unknown_job`) and a human-readable `"error"` string.
+//! Read responses additionally carry `"state_version"`, the publish
+//! sequence number of the snapshot they were answered from —
+//! non-decreasing per connection.
 //!
 //! A `JobRequest` is `{class?, deadline_us?, tasks: […], edges: [[u,v]…]}`
 //! where each task is `{size, est_size?, recovery_us?, demand?}` — only
 //! `size` (MI) is required; demand defaults to unit CPU/mem.
+//!
+//! The verb set is split at the type level into a **read lane** and a
+//! **write lane** (DESIGN.md §10.5): [`handle_read`] takes only the
+//! published [`StateSnapshot`] — it *cannot* reach the driver — while
+//! [`handle_write`] takes the driver itself and runs on the single
+//! driver-owner thread.
 
 use crate::codec;
 use crate::driver::{JobRequest, JobStatus, OnlineDriver};
 use crate::json::{parse, Json};
+use crate::state::StateSnapshot;
 use dsp_dag::{JobClass, JobId, TaskSpec};
 use dsp_units::{Dur, Mi, ResourceVec};
 
-/// A decoded client request.
+/// A request answered from the published state snapshot, off the driver
+/// lock-path entirely.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Request {
+pub enum ReadRequest {
     /// Liveness probe.
     Ping,
-    /// Admit a batch of jobs.
-    Submit(Vec<JobRequest>),
     /// Query one job's progress.
     Status(JobId),
     /// Headline service counters.
     Metrics,
     /// Current auditable state (mid-run; history may be partial).
     Snapshot,
+}
+
+/// A request that mutates the driver; serialized FIFO through the
+/// bounded command queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteRequest {
+    /// Admit a batch of jobs.
+    Submit(Vec<JobRequest>),
     /// Flush, run dry, return the final snapshot, and stop the service.
     Drain,
+}
+
+/// A decoded client request, already routed to its lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Served from the snapshot cache.
+    Read(ReadRequest),
+    /// Goes through the command queue to the driver-owner thread.
+    Write(WriteRequest),
 }
 
 fn bad(msg: impl Into<String>) -> String {
@@ -188,7 +214,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = parse(line.trim()).map_err(|e| format!("malformed JSON: {e}"))?;
     let op = v.get("op").and_then(Json::as_str).ok_or_else(|| bad("missing 'op' field"))?;
     match op {
-        "ping" => Ok(Request::Ping),
+        "ping" => Ok(Request::Read(ReadRequest::Ping)),
         "submit" => {
             let jobs = v
                 .get("jobs")
@@ -197,7 +223,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .iter()
                 .map(job_request_from_json)
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::Submit(jobs))
+            Ok(Request::Write(WriteRequest::Submit(jobs)))
         }
         "status" => {
             let id = v
@@ -205,11 +231,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .and_then(Json::as_u64)
                 .filter(|id| *id <= u64::from(u32::MAX))
                 .ok_or_else(|| bad("'job' (u32 id) is required"))?;
-            Ok(Request::Status(JobId(id as u32)))
+            Ok(Request::Read(ReadRequest::Status(JobId(id as u32))))
         }
-        "metrics" => Ok(Request::Metrics),
-        "snapshot" => Ok(Request::Snapshot),
-        "drain" => Ok(Request::Drain),
+        "metrics" => Ok(Request::Read(ReadRequest::Metrics)),
+        "snapshot" => Ok(Request::Read(ReadRequest::Snapshot)),
+        "drain" => Ok(Request::Write(WriteRequest::Drain)),
         other => Err(format!("unknown op '{other}'")),
     }
 }
@@ -232,20 +258,83 @@ pub struct Response {
     pub shutdown: bool,
 }
 
-/// Execute a request against the driver. The caller holds the driver
-/// lock; simulation time is advanced by the server's clock tick, not
-/// here (except `drain`, which runs the simulation dry).
-pub fn handle(driver: &mut OnlineDriver, request: Request) -> Response {
+/// Execute a read request against the **published snapshot only**. The
+/// signature is the enforcement: there is no driver to reach, so a read
+/// can never block behind (or convoy with) a mutation. Every response
+/// carries `state_version`, the snapshot's publish sequence number.
+pub fn handle_read(state: &StateSnapshot, request: ReadRequest) -> Response {
+    let version = ("state_version", Json::U64(state.version));
     match request {
-        Request::Ping => Response {
+        ReadRequest::Ping => Response {
             body: Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("pong", Json::Bool(true)),
-                ("now_us", Json::U64(driver.now().as_micros())),
+                ("now_us", Json::U64(state.now.as_micros())),
+                version,
             ]),
             shutdown: false,
         },
-        Request::Submit(requests) => match driver.submit(requests) {
+        ReadRequest::Status(id) => match state.status(id) {
+            Some(JobStatus::Pending) => Response {
+                body: Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::U64(u64::from(id.0))),
+                    ("state", Json::Str("pending".into())),
+                    version,
+                ]),
+                shutdown: false,
+            },
+            Some(JobStatus::Active(progress)) => Response {
+                body: Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::U64(u64::from(id.0))),
+                    ("state", Json::Str("active".into())),
+                    ("progress", codec::progress_to_json(progress)),
+                    version,
+                ]),
+                shutdown: false,
+            },
+            None => Response {
+                body: error_response("unknown_job", &format!("job {} was never admitted", id.0)),
+                shutdown: false,
+            },
+        },
+        ReadRequest::Metrics => Response {
+            body: Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("now_us", Json::U64(state.now.as_micros())),
+                ("periods_elapsed", Json::U64(state.periods_elapsed)),
+                ("batches_scheduled", Json::U64(state.batches_scheduled)),
+                ("pending_tasks", Json::U64(state.pending_tasks as u64)),
+                ("draining", Json::Bool(state.draining)),
+                ("metrics", codec::metrics_to_json(&state.metrics)),
+                version,
+            ]),
+            shutdown: false,
+        },
+        ReadRequest::Snapshot => Response {
+            body: Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("snapshot", state.artifact.to_json()),
+                version,
+            ]),
+            shutdown: false,
+        },
+    }
+}
+
+/// Execute a write request on the driver-owner thread. `publish` is the
+/// server's snapshot-publish hook; `drain` calls it at every boundary of
+/// its advance-until-dry loop so readers observe monotone progress
+/// instead of one frozen pre-drain view. Simulation time is otherwise
+/// advanced by the server's clock tick, not here.
+pub fn handle_write(
+    driver: &mut OnlineDriver,
+    request: WriteRequest,
+    publish: &mut dyn FnMut(&OnlineDriver),
+) -> Response {
+    match request {
+        WriteRequest::Submit(requests) => match driver.submit(requests) {
             Ok(ids) => Response {
                 body: Json::obj(vec![
                     ("ok", Json::Bool(true)),
@@ -258,50 +347,8 @@ pub fn handle(driver: &mut OnlineDriver, request: Request) -> Response {
                 Response { body: error_response(e.reason(), &e.to_string()), shutdown: false }
             }
         },
-        Request::Status(id) => match driver.status(id) {
-            Some(JobStatus::Pending) => Response {
-                body: Json::obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("job", Json::U64(u64::from(id.0))),
-                    ("state", Json::Str("pending".into())),
-                ]),
-                shutdown: false,
-            },
-            Some(JobStatus::Active(progress)) => Response {
-                body: Json::obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("job", Json::U64(u64::from(id.0))),
-                    ("state", Json::Str("active".into())),
-                    ("progress", codec::progress_to_json(&progress)),
-                ]),
-                shutdown: false,
-            },
-            None => Response {
-                body: error_response("unknown_job", &format!("job {} was never admitted", id.0)),
-                shutdown: false,
-            },
-        },
-        Request::Metrics => Response {
-            body: Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("now_us", Json::U64(driver.now().as_micros())),
-                ("periods_elapsed", Json::U64(driver.periods_elapsed())),
-                ("batches_scheduled", Json::U64(driver.batches_scheduled())),
-                ("pending_tasks", Json::U64(driver.pending_tasks() as u64)),
-                ("draining", Json::Bool(driver.is_draining())),
-                ("metrics", codec::metrics_to_json(driver.metrics())),
-            ]),
-            shutdown: false,
-        },
-        Request::Snapshot => Response {
-            body: Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("snapshot", driver.snapshot().to_json()),
-            ]),
-            shutdown: false,
-        },
-        Request::Drain => {
-            let snapshot = driver.drain();
+        WriteRequest::Drain => {
+            let snapshot = driver.drain_with(publish);
             Response {
                 body: Json::obj(vec![
                     ("ok", Json::Bool(true)),
@@ -311,6 +358,20 @@ pub fn handle(driver: &mut OnlineDriver, request: Request) -> Response {
                 shutdown: true,
             }
         }
+    }
+}
+
+/// Single-threaded convenience: route either lane against a live driver
+/// (reads see a freshly built, version-0 view). This is the path for
+/// tests and in-process tooling that hold the driver directly; the
+/// server never uses it.
+pub fn handle(driver: &mut OnlineDriver, request: Request) -> Response {
+    match request {
+        Request::Read(read) => {
+            let artifact = std::sync::Arc::new(driver.snapshot());
+            handle_read(&driver.state_snapshot(0, artifact), read)
+        }
+        Request::Write(write) => handle_write(driver, write, &mut |_| {}),
     }
 }
 
@@ -343,18 +404,31 @@ mod tests {
 
     #[test]
     fn parses_the_full_verb_set() {
-        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
-        assert_eq!(parse_request(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
-        assert_eq!(parse_request(r#"{"op":"snapshot"}"#).unwrap(), Request::Snapshot);
-        assert_eq!(parse_request(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
-        assert_eq!(parse_request(r#"{"op":"status","job":3}"#).unwrap(), Request::Status(JobId(3)));
+        // Reads and writes land in their lanes at parse time.
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Read(ReadRequest::Ping));
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Read(ReadRequest::Metrics)
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"snapshot"}"#).unwrap(),
+            Request::Read(ReadRequest::Snapshot)
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"drain"}"#).unwrap(),
+            Request::Write(WriteRequest::Drain)
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"status","job":3}"#).unwrap(),
+            Request::Read(ReadRequest::Status(JobId(3)))
+        );
         let req = parse_request(
             r#"{"op":"submit","jobs":[{"class":"Medium","deadline_us":5000000,
                 "tasks":[{"size":100},{"size":200,"est_size":180}],"edges":[[0,1]]}]}"#,
         )
         .unwrap();
         match req {
-            Request::Submit(jobs) => {
+            Request::Write(WriteRequest::Submit(jobs)) => {
                 assert_eq!(jobs.len(), 1);
                 assert_eq!(jobs[0].class, JobClass::Medium);
                 assert_eq!(jobs[0].deadline, Some(Dur::from_secs(5)));
@@ -394,12 +468,13 @@ mod tests {
         assert_eq!(r.body.get("ok"), Some(&Json::Bool(true)));
         assert!(!r.shutdown);
 
-        let r = handle(&mut d, Request::Status(JobId(0)));
+        let r = handle(&mut d, Request::Read(ReadRequest::Status(JobId(0))));
         assert_eq!(r.body.get("state").and_then(Json::as_str), Some("pending"));
-        let r = handle(&mut d, Request::Status(JobId(99)));
+        assert!(r.body.get("state_version").is_some(), "reads carry the snapshot version");
+        let r = handle(&mut d, Request::Read(ReadRequest::Status(JobId(99))));
         assert_eq!(r.body.get("reason").and_then(Json::as_str), Some("unknown_job"));
 
-        let r = handle(&mut d, Request::Drain);
+        let r = handle(&mut d, Request::Write(WriteRequest::Drain));
         assert!(r.shutdown);
         let snap = r.body.get("snapshot").expect("snapshot attached");
         let decoded = crate::codec::Snapshot::from_json(snap).unwrap();
@@ -427,7 +502,7 @@ mod tests {
         }];
         let line = submit_request(&requests).to_string();
         match parse_request(&line).unwrap() {
-            Request::Submit(back) => assert_eq!(back, requests),
+            Request::Write(WriteRequest::Submit(back)) => assert_eq!(back, requests),
             other => panic!("{other:?}"),
         }
     }
@@ -435,7 +510,7 @@ mod tests {
     #[test]
     fn responses_are_single_lines() {
         let mut d = driver();
-        let r = handle(&mut d, Request::Metrics);
+        let r = handle(&mut d, Request::Read(ReadRequest::Metrics));
         let line = r.body.to_string();
         assert!(!line.contains('\n'));
         assert!(parse(&line).is_ok());

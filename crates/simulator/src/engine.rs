@@ -107,6 +107,10 @@ pub struct Engine {
     injected: usize,
     finished: usize,
     pending_injections: usize,
+    /// Events popped off the heap over the engine's lifetime. Observers
+    /// (the service's snapshot publisher) compare stamps across steps to
+    /// tell a quiet advance from one that actually changed state.
+    processed: u64,
     /// True once the first run/step installed staged batches and faults.
     primed: bool,
     /// Whether the active policy wants epoch callbacks at all.
@@ -153,6 +157,7 @@ impl Engine {
             injected: 0,
             finished: 0,
             pending_injections: 0,
+            processed: 0,
             primed: false,
             epoch_enabled: false,
             epoch_live: false,
@@ -287,6 +292,7 @@ impl Engine {
                 _ => break,
             }
             let Some(Reverse((t_us, _, ev))) = self.events.pop() else { break };
+            self.processed += 1;
             let t = Time::from_micros(t_us);
             debug_assert!(t >= self.now, "time must be monotone");
             self.now = t;
@@ -331,6 +337,14 @@ impl Engine {
     /// True when every injected task finished and no injection is pending.
     pub fn idle(&self) -> bool {
         self.finished == self.injected && self.pending_injections == 0
+    }
+
+    /// Monotone count of events processed so far. Two equal stamps around
+    /// a `step_until` mean the step changed nothing but the clock — the
+    /// service uses this to reuse its published artifact across quiet
+    /// ticks instead of re-cloning jobs and history.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
     }
 
     /// Metrics collected so far, without consuming them.

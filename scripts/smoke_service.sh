@@ -42,6 +42,32 @@ sleep 0.5
 "$BIN/dsp" submit --addr "$ADDR" --gen 3 --seed 7
 sleep 0.5
 
+# Concurrent-client leg: 8 clients hammer the read lane at once while another
+# submit streams in on the write lane. Every client must exit 0 and no reply
+# may carry a protocol error token.
+CONC_DIR="$workdir/conc"
+mkdir -p "$CONC_DIR"
+pids=()
+for i in $(seq 1 8); do
+  (
+    for _ in $(seq 1 5); do
+      "$BIN/dsp" metrics --addr "$ADDR"
+      "$BIN/dsp" status --addr "$ADDR" --job 0
+    done
+  ) >"$CONC_DIR/client$i.log" 2>&1 &
+  pids+=("$!")
+done
+"$BIN/dsp" submit --addr "$ADDR" --gen 2 --seed 11
+for pid in "${pids[@]}"; do
+  wait "$pid" || { echo "smoke: concurrent client (pid $pid) failed:"; cat "$CONC_DIR"/client*.log; exit 1; }
+done
+if grep -qE '"ok": *false|"reason"|"error"' "$CONC_DIR"/client*.log; then
+  echo "smoke: protocol error in concurrent replies:"
+  grep -E '"ok": *false|"reason"|"error"' "$CONC_DIR"/client*.log
+  exit 1
+fi
+echo "smoke: 8 concurrent clients OK ($(cat "$CONC_DIR"/client*.log | wc -l) reply lines)"
+
 # Graceful drain: runs the simulation dry and writes the final snapshot.
 "$BIN/dsp" drain --addr "$ADDR" --out "$workdir/snap.json"
 wait "$DSPD_PID"

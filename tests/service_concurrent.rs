@@ -1,0 +1,324 @@
+//! Concurrency stress tier for the sharded `dspd` request path: N writers
+//! submitting while M readers poll, plus the drain-publishes-snapshots
+//! regression. Run under `RUST_TEST_THREADS=1` in CI's serial leg — each
+//! test spins up its own thread fleet and the assertions are about
+//! cross-thread interleavings, not wall time.
+//!
+//! What the readers assert on every response (per connection):
+//!   * `state_version` is non-decreasing — snapshots publish in order and
+//!     a connection never observes time running backwards;
+//!   * `now_us` and `periods_elapsed` are non-decreasing — no torn reads:
+//!     every response is one internally consistent published snapshot;
+//!   * failure `reason` tokens come from the stable documented set.
+
+use dsp_service::json::Json;
+use dsp_service::{serve, wire, AdmissionConfig, JobRequest, OnlineDriver, ServerConfig, Snapshot};
+use dsp_sim::EngineConfig;
+use dsp_units::{Dur, Time};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn driver(max_pending_tasks: usize, period_secs: u64) -> OnlineDriver {
+    let params = dsp_core::config::Params::default();
+    OnlineDriver::new(
+        dsp_cluster::uniform(2, 1000.0, 1),
+        EngineConfig {
+            epoch: Dur::from_secs(5),
+            sigma: Dur::from_millis(50),
+            max_time: Time::from_secs(7 * 24 * 3600),
+            lookahead: 4,
+        },
+        Dur::from_secs(period_secs),
+        Box::new(dsp_sched::DspListScheduler::default()),
+        Box::new(dsp_preempt::DspPolicy::new(params.dsp_params(true))),
+        AdmissionConfig { max_pending_tasks, check_feasibility: true },
+    )
+}
+
+fn one_task_job(size: f64) -> JobRequest {
+    JobRequest {
+        class: dsp_dag::JobClass::Small,
+        deadline: None,
+        tasks: vec![dsp_dag::TaskSpec::sized(size)],
+        edges: vec![],
+    }
+}
+
+fn two_task_job() -> JobRequest {
+    JobRequest {
+        class: dsp_dag::JobClass::Small,
+        deadline: None,
+        tasks: vec![dsp_dag::TaskSpec::sized(1_000.0); 2],
+        edges: vec![],
+    }
+}
+
+fn op(name: &str) -> Json {
+    Json::obj(vec![("op", Json::Str(name.into()))])
+}
+
+/// Tracks one connection's monotonicity invariants across responses.
+#[derive(Default)]
+struct Monotone {
+    version: u64,
+    now_us: u64,
+    periods: u64,
+}
+
+impl Monotone {
+    fn check(&mut self, resp: &Json) {
+        if let Some(v) = resp.get("state_version").and_then(Json::as_u64) {
+            assert!(v >= self.version, "state_version went backwards: {} -> {v}", self.version);
+            self.version = v;
+        }
+        if let Some(now) = resp.get("now_us").and_then(Json::as_u64) {
+            assert!(now >= self.now_us, "now_us went backwards: {} -> {now}", self.now_us);
+            self.now_us = now;
+        }
+        if let Some(p) = resp.get("periods_elapsed").and_then(Json::as_u64) {
+            assert!(p >= self.periods, "periods_elapsed went backwards: {} -> {p}", self.periods);
+            self.periods = p;
+        }
+    }
+}
+
+const STABLE_REASONS: &[&str] =
+    &["bad_request", "backpressure", "infeasible", "invalid", "draining", "unknown_job"];
+
+fn assert_stable_reason(resp: &Json) {
+    if resp.get("ok") == Some(&Json::Bool(false)) {
+        let reason = resp.get("reason").and_then(Json::as_str).expect("failures carry a reason");
+        assert!(STABLE_REASONS.contains(&reason), "unstable reason token {reason:?}");
+    }
+}
+
+/// Satellite regression: a `status`/`metrics` call completes while a
+/// 100-job drain is mid-flight, and the drain publishes *intermediate*
+/// snapshots — reads observe several distinct `state_version`s with
+/// `draining: true`, not just the final one.
+#[test]
+fn reads_complete_while_a_hundred_job_drain_is_mid_flight() {
+    // Frozen clock: every bit of simulation happens inside the drain
+    // command, so the whole drain window is observable. A 20 s period
+    // forces many boundary publishes while the engine runs dry.
+    let handle = serve(
+        driver(100_000, 20),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(20),
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr.to_string();
+
+    let mut submitter = dsp_service::Client::connect(&addr).expect("connect");
+    let jobs: Vec<JobRequest> = (0..100).map(|_| one_task_job(20_000.0)).collect();
+    for chunk in jobs.chunks(20) {
+        let resp = submitter.call(&wire::submit_request(chunk)).expect("submit");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    }
+
+    // Connect (and warm) the reader *before* the drain starts, so its
+    // polls race the drain from its very first boundary.
+    let mut reader = dsp_service::Client::connect(&addr).expect("connect");
+    let mut mono = Monotone::default();
+    mono.check(&reader.call(&op("ping")).expect("warm read"));
+
+    let drained = Arc::new(AtomicBool::new(false));
+    let drain_thread = {
+        let drained = Arc::clone(&drained);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = dsp_service::Client::connect(&addr).expect("connect");
+            let resp = c.call(&op("drain")).expect("drain call");
+            drained.store(true, Ordering::SeqCst);
+            resp
+        })
+    };
+
+    // Poll from the read lane until the drain lands. Every one of these
+    // completes in one round trip — none waits out the drain.
+    let mut mid_flight_versions = std::collections::BTreeSet::new();
+    let mut status_mid_flight = 0u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    while !drained.load(Ordering::SeqCst) {
+        assert!(std::time::Instant::now() < deadline, "drain never completed");
+        let m = reader.call(&op("metrics")).expect("metrics mid-drain");
+        mono.check(&m);
+        if m.get("draining") == Some(&Json::Bool(true)) {
+            mid_flight_versions.insert(m.get("state_version").and_then(Json::as_u64).unwrap_or(0));
+            let s = reader
+                .call(&Json::obj(vec![("op", Json::Str("status".into())), ("job", Json::U64(0))]))
+                .expect("status mid-drain");
+            mono.check(&s);
+            if s.get("ok") == Some(&Json::Bool(true)) {
+                status_mid_flight += 1;
+            }
+        }
+    }
+    let resp = drain_thread.join().expect("drain thread");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    let snap = Snapshot::from_json(resp.get("snapshot").expect("snapshot")).expect("decodes");
+    assert_eq!(snap.jobs.len(), 100);
+    assert!(snap.verify().passes(), "{:?}", snap.verify());
+
+    assert!(status_mid_flight > 0, "status must complete while the drain is in flight");
+    assert!(
+        mid_flight_versions.len() >= 2,
+        "drain must publish intermediate snapshots at boundaries, saw versions \
+         {mid_flight_versions:?}"
+    );
+    handle.wait();
+}
+
+/// The stress tier proper: 4 writers hammering `submit` against a tiny
+/// admission queue while 3 readers poll, all over a frozen clock so the
+/// outcome is deterministic — the pending queue never drains, so exactly
+/// `max_pending / batch` submissions are admitted and every later one
+/// sheds with the stable `backpressure` token.
+#[test]
+fn writers_and_readers_race_without_torn_reads() {
+    const MAX_PENDING: usize = 8; // 4 two-task batches fit, nothing more
+    let handle = serve(
+        driver(MAX_PENDING, 100),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(10),
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr.to_string();
+
+    let admitted = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let stop_readers = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let admitted = Arc::clone(&admitted);
+            let shed = Arc::clone(&shed);
+            std::thread::spawn(move || {
+                let mut c = dsp_service::Client::connect(&addr).expect("connect");
+                for _ in 0..25 {
+                    let resp = c.call(&wire::submit_request(&[two_task_job()])).expect("submit");
+                    assert_stable_reason(&resp);
+                    if resp.get("ok") == Some(&Json::Bool(true)) {
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        assert_eq!(
+                            resp.get("reason").and_then(Json::as_str),
+                            Some("backpressure"),
+                            "frozen clock leaves no other legal refusal: {resp}"
+                        );
+                        shed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop_readers);
+            std::thread::spawn(move || {
+                let mut c = dsp_service::Client::connect(&addr).expect("connect");
+                let mut mono = Monotone::default();
+                let mut reads = 0u64;
+                while !stop.load(Ordering::SeqCst) || reads < 50 {
+                    let m = c.call(&op("metrics")).expect("metrics");
+                    mono.check(&m);
+                    let pending =
+                        m.get("pending_tasks").and_then(Json::as_u64).expect("pending_tasks");
+                    assert!(
+                        pending <= MAX_PENDING as u64,
+                        "published snapshot shows an over-admitted queue: {pending}"
+                    );
+                    // Sparse status probes: an id nothing ever admitted must
+                    // yield the stable unknown_job token, concurrently with
+                    // the writers churning the id space.
+                    let s = c
+                        .call(&Json::obj(vec![
+                            ("op", Json::Str("status".into())),
+                            ("job", Json::U64(1000 + i)),
+                        ]))
+                        .expect("status");
+                    mono.check(&s);
+                    assert_eq!(s.get("reason").and_then(Json::as_str), Some("unknown_job"));
+                    reads += 1;
+                    if reads >= 5000 {
+                        break; // safety valve; never hit in practice
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    stop_readers.store(true, Ordering::SeqCst);
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+
+    // Frozen clock ⇒ the queue never drained: exactly 4 two-task batches
+    // fit in an 8-task queue, and all 96 later submissions shed.
+    assert_eq!(admitted.load(Ordering::SeqCst), 4);
+    assert_eq!(shed.load(Ordering::SeqCst), 96);
+
+    let mut c = dsp_service::Client::connect(&addr).expect("connect");
+    let resp = c.call(&op("drain")).expect("drain");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    let snap = Snapshot::from_json(resp.get("snapshot").expect("snapshot")).expect("decodes");
+    assert_eq!(snap.jobs.len(), 4, "exactly the admitted batches drain");
+    assert!(snap.verify().passes(), "{:?}", snap.verify());
+    handle.wait();
+}
+
+/// The `--read-cache off` A/B leg: with reads routed through the write
+/// queue the protocol still behaves identically — same verbs, same
+/// tokens, same final snapshot — only the latency model changes.
+#[test]
+fn read_through_mode_serves_the_same_protocol() {
+    let handle = serve(
+        driver(10_000, 100),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(10),
+            read_cache: false,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut c = dsp_service::Client::connect(&handle.addr.to_string()).expect("connect");
+
+    let pong = c.call(&op("ping")).expect("ping");
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+    assert!(pong.get("state_version").is_some(), "read-through reads still carry the version");
+
+    let resp = c.call(&wire::submit_request(&[one_task_job(2_000.0)])).expect("submit");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+    // A read issued after the submit observes it: read-through reads are
+    // serialized behind the write lane, so there is no staleness at all.
+    let m = c.call(&op("metrics")).expect("metrics");
+    assert_eq!(m.get("pending_tasks").and_then(Json::as_u64), Some(1));
+
+    let s = c
+        .call(&Json::obj(vec![("op", Json::Str("status".into())), ("job", Json::U64(0))]))
+        .expect("status");
+    assert_eq!(s.get("state").and_then(Json::as_str), Some("pending"));
+
+    let resp = c.call(&op("drain")).expect("drain");
+    let snap = Snapshot::from_json(resp.get("snapshot").expect("snapshot")).expect("decodes");
+    assert_eq!(snap.jobs.len(), 1);
+    assert!(snap.verify().passes(), "{:?}", snap.verify());
+    handle.wait();
+}

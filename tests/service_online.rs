@@ -135,6 +135,7 @@ fn tcp_session_submits_polls_and_drains_verified() {
             addr: "127.0.0.1:0".into(),
             time_scale: 2000.0,
             tick: std::time::Duration::from_millis(5),
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port");
@@ -194,6 +195,7 @@ fn tcp_rejections_carry_stable_reason_tokens() {
             // between the two submissions.
             time_scale: 0.0,
             tick: std::time::Duration::from_millis(50),
+            ..Default::default()
         },
     )
     .expect("bind");
