@@ -1,0 +1,142 @@
+//! Baselines: adopt `dsp-analyze` on a tree with pre-existing findings by
+//! freezing them, so CI blocks *new* violations while the backlog is paid
+//! down. (This repo merges with an empty baseline — the PR that introduced
+//! the analyzer also fixed its findings — but the mechanism is what lets a
+//! future lint land before its cleanup does.)
+//!
+//! Format: one tab-separated line per accepted finding,
+//! `LINT<TAB>path<TAB>line<TAB>message`, `#`-comments and blank lines
+//! ignored. Line numbers are advisory only — matching is by (lint, path,
+//! message), so unrelated edits above a frozen finding don't unfreeze it;
+//! messages embed the offending token text, which keeps the key stable and
+//! human-auditable without a content hash.
+
+use crate::report::Finding;
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Lint ID text.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Message text (the match key's discriminating part).
+    pub message: String,
+}
+
+/// Parse a baseline document. Unparseable lines are errors — a truncated
+/// baseline that silently accepts nothing (or everything) defeats the gate.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (lint, path, _line_no, message) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                _ => {
+                    return Err(format!("baseline line {}: expected 4 tab-separated fields", i + 1))
+                }
+            };
+        out.push(BaselineEntry {
+            lint: lint.to_string(),
+            path: path.to_string(),
+            message: message.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render findings as a baseline document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# dsp-analyze baseline: accepted pre-existing findings.\n\
+         # LINT<TAB>path<TAB>line<TAB>message — matching ignores the line number.\n",
+    );
+    for f in findings {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            f.lint.as_str(),
+            f.path,
+            f.line,
+            f.message.replace(['\t', '\n'], " ")
+        ));
+    }
+    out
+}
+
+/// Split findings into (new, baselined). Each baseline entry absorbs at
+/// most one finding — two identical new violations need two entries.
+pub fn split(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> (Vec<Finding>, Vec<Finding>) {
+    let mut budget: Vec<(&BaselineEntry, usize)> = Vec::new();
+    for e in baseline {
+        match budget.iter_mut().find(|(b, _)| *b == e) {
+            Some((_, n)) => *n += 1,
+            None => budget.push((e, 1)),
+        }
+    }
+    let mut fresh = Vec::new();
+    let mut old = Vec::new();
+    for f in findings {
+        let key_msg = f.message.replace(['\t', '\n'], " ");
+        let hit = budget.iter_mut().find(|(e, n)| {
+            *n > 0 && e.lint == f.lint.as_str() && e.path == f.path && e.message == key_msg
+        });
+        match hit {
+            Some((_, n)) => {
+                *n -= 1;
+                old.push(f);
+            }
+            None => fresh.push(f),
+        }
+    }
+    (fresh, old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::LintId;
+
+    fn f(lint: LintId, path: &str, line: u32, msg: &str) -> Finding {
+        Finding { lint, path: path.into(), line, col: 1, message: msg.into() }
+    }
+
+    #[test]
+    fn roundtrip_and_line_insensitive_match() {
+        let findings = vec![f(LintId::D1, "a.rs", 10, "HashMap here")];
+        let doc = render(&findings);
+        let entries = parse(&doc).unwrap();
+        // Same finding at a different line still matches.
+        let moved = vec![f(LintId::D1, "a.rs", 99, "HashMap here")];
+        let (fresh, old) = split(moved, &entries);
+        assert!(fresh.is_empty());
+        assert_eq!(old.len(), 1);
+    }
+
+    #[test]
+    fn one_entry_absorbs_one_finding() {
+        let entries = parse(&render(&[f(LintId::D1, "a.rs", 1, "m")])).unwrap();
+        let dup = vec![f(LintId::D1, "a.rs", 1, "m"), f(LintId::D1, "a.rs", 2, "m")];
+        let (fresh, old) = split(dup, &entries);
+        assert_eq!((fresh.len(), old.len()), (1, 1));
+    }
+
+    #[test]
+    fn different_lint_or_path_is_fresh() {
+        let entries = parse(&render(&[f(LintId::D1, "a.rs", 1, "m")])).unwrap();
+        let (fresh, _) = split(vec![f(LintId::D3, "a.rs", 1, "m")], &entries);
+        assert_eq!(fresh.len(), 1);
+        let (fresh, _) = split(vec![f(LintId::D1, "b.rs", 1, "m")], &entries);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("D1\tonly-two-fields").is_err());
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! A minimal Rust token scanner — just enough lexical structure for the
+//! lint passes: identifiers, punctuation, literals, and (crucially)
+//! comments as first-class tokens with accurate line/column spans.
+//!
+//! This is *not* a parser. The lint catalog (DESIGN.md §12) is defined in
+//! terms of token patterns precisely so that a dependency-free scanner can
+//! enforce it: every lint is a statement about identifier sequences,
+//! adjacent comments, or brace-balanced regions, never about types or name
+//! resolution. The scanner therefore has one hard job — never confusing
+//! comment/string *content* with code — and it handles the full literal
+//! zoo: nested block comments, raw strings with `#` fences, byte strings,
+//! char-vs-lifetime disambiguation, and raw identifiers.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#match` → `match`).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// `// …` comment, including `///` and `//!` doc forms.
+    LineComment,
+    /// `/* … */` comment (nesting handled), including `/** … */`.
+    BlockComment,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Numeric literal (value precision is irrelevant to every lint).
+    Num,
+}
+
+/// One token with its source text and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Source text. For comments this includes the delimiters; for
+    /// punctuation it is the single character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Scanner { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining the line/column counters. Multi-byte
+    /// UTF-8 continuation bytes do not advance the column, so columns count
+    /// characters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize a Rust source file. The scanner never fails: malformed input
+/// (an unterminated string at EOF, say) degrades to best-effort tokens —
+/// a lint wall must report *findings*, not parse errors, on the code it is
+/// pointed at.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut s = Scanner::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = s.peek(0) {
+        let (line, col, start) = (s.line, s.col, s.pos);
+        let text = |sc: &Scanner<'_>, from: usize| {
+            String::from_utf8_lossy(&sc.src[from..sc.pos]).into_owned()
+        };
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+                continue;
+            }
+            b'/' if s.peek(1) == Some(b'/') => {
+                s.take_while(|c| c != b'\n');
+                out.push(Tok { kind: TokKind::LineComment, text: text(&s, start), line, col });
+            }
+            b'/' if s.peek(1) == Some(b'*') => {
+                s.bump();
+                s.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (s.peek(0), s.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.push(Tok { kind: TokKind::BlockComment, text: text(&s, start), line, col });
+            }
+            b'"' => {
+                scan_string(&mut s);
+                out.push(Tok { kind: TokKind::Str, text: text(&s, start), line, col });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&s) => {
+                scan_raw_or_byte_string(&mut s);
+                out.push(Tok { kind: TokKind::Str, text: text(&s, start), line, col });
+            }
+            b'b' if s.peek(1) == Some(b'\'') => {
+                s.bump(); // b
+                scan_char(&mut s);
+                out.push(Tok { kind: TokKind::Char, text: text(&s, start), line, col });
+            }
+            b'r' if s.peek(1) == Some(b'#') && s.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#ident: strip the prefix so lints match
+                // on the plain name.
+                s.bump();
+                s.bump();
+                let id_start = s.pos;
+                s.take_while(is_ident_continue);
+                out.push(Tok { kind: TokKind::Ident, text: text(&s, id_start), line, col });
+            }
+            b'\'' => {
+                // Lifetime/label vs char literal: a lifetime is `'` + ident
+                // NOT followed by a closing `'`.
+                if s.peek(1).is_some_and(is_ident_start) && !char_closes_after_ident(&s) {
+                    s.bump();
+                    s.take_while(is_ident_continue);
+                    out.push(Tok { kind: TokKind::Lifetime, text: text(&s, start), line, col });
+                } else {
+                    scan_char(&mut s);
+                    out.push(Tok { kind: TokKind::Char, text: text(&s, start), line, col });
+                }
+            }
+            _ if is_ident_start(b) => {
+                s.take_while(is_ident_continue);
+                out.push(Tok { kind: TokKind::Ident, text: text(&s, start), line, col });
+            }
+            _ if b.is_ascii_digit() => {
+                // Integer part (also covers the `0x`/`0b` prefix digit; the
+                // radix letter and hex digits fall into the suffix run).
+                s.take_while(|c| c.is_ascii_digit() || c == b'_');
+                // Fractional part only when a digit follows the dot —
+                // `1.max(2)` and `0..n` keep their dots.
+                if s.peek(0) == Some(b'.') && s.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    s.bump();
+                    s.take_while(|c| c.is_ascii_digit() || c == b'_');
+                }
+                // Exponent (`1e9`, `2.5E-3`) — sign needs its own bump.
+                if matches!(s.peek(0), Some(b'e') | Some(b'E'))
+                    && (s.peek(1).is_some_and(|c| c.is_ascii_digit())
+                        || matches!(s.peek(1), Some(b'+') | Some(b'-'))
+                            && s.peek(2).is_some_and(|c| c.is_ascii_digit()))
+                {
+                    s.bump();
+                    if matches!(s.peek(0), Some(b'+') | Some(b'-')) {
+                        s.bump();
+                    }
+                }
+                // Type suffix / radix tail (`u32`, `f64`, `x1F`, `_i8`).
+                s.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+                out.push(Tok { kind: TokKind::Num, text: text(&s, start), line, col });
+            }
+            _ => {
+                s.bump();
+                out.push(Tok { kind: TokKind::Punct, text: text(&s, start), line, col });
+            }
+        }
+    }
+    out
+}
+
+/// Is the scanner sitting on `r"`, `r#`-fence, `b"`, `br"`, or `br#`?
+fn starts_raw_or_byte_string(s: &Scanner<'_>) -> bool {
+    match (s.peek(0), s.peek(1)) {
+        (Some(b'r'), Some(b'"')) => true,
+        (Some(b'r'), Some(b'#')) => {
+            // r#"…" is a raw string; r#ident is a raw identifier.
+            let mut i = 1;
+            while s.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            s.peek(i) == Some(b'"')
+        }
+        (Some(b'b'), Some(b'"')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(s.peek(2), Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+/// `'a'`-style lookahead: does an ident run starting at pos+1 terminate in
+/// a closing quote (making this a char literal, not a lifetime)?
+fn char_closes_after_ident(s: &Scanner<'_>) -> bool {
+    let mut i = 1;
+    while s.peek(i).is_some_and(is_ident_continue) {
+        i += 1;
+    }
+    s.peek(i) == Some(b'\'')
+}
+
+fn scan_string(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    while let Some(b) = s.bump() {
+        match b {
+            b'\\' => {
+                s.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+fn scan_char(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    while let Some(b) = s.bump() {
+        match b {
+            b'\\' => {
+                s.bump();
+            }
+            b'\'' => return,
+            _ => {}
+        }
+    }
+}
+
+fn scan_raw_or_byte_string(s: &mut Scanner<'_>) {
+    if s.peek(0) == Some(b'b') {
+        s.bump();
+    }
+    if s.peek(0) == Some(b'r') {
+        s.bump();
+        let mut fences = 0usize;
+        while s.peek(0) == Some(b'#') {
+            fences += 1;
+            s.bump();
+        }
+        s.bump(); // opening quote
+        loop {
+            match s.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < fences && s.peek(0) == Some(b'#') {
+                        seen += 1;
+                        s.bump();
+                    }
+                    if seen == fences {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    } else {
+        scan_string(s); // plain b"…": escapes work like a normal string
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_spans() {
+        let toks = lex("let x = a::b;");
+        assert!(toks[0].is_ident("let"));
+        assert!(toks[3].is_ident("a"));
+        assert!(toks[4].is_punct(':') && toks[5].is_punct(':'));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!(toks[3].col, 9);
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = kinds("// HashMap\n/* HashSet */ real");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[2], (TokKind::Ident, "real".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = kinds(r#"let s = "HashMap::new()"; done"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Ident || t != "HashMap"));
+        assert_eq!(toks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_quotes() {
+        let toks = kinds(r###"let s = r#"a " b"#; tail"###);
+        assert_eq!(toks.last().unwrap().1, "tail");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(c: char) { let x = 'y'; let z = '\\n'; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_ident_is_stripped() {
+        let toks = kinds("r#match");
+        assert_eq!(toks[0], (TokKind::Ident, "match".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Num, "1".into()));
+        assert!(toks[2].1 == "max");
+    }
+
+    #[test]
+    fn line_counting_across_tokens() {
+        let toks = lex("a\nbb\n  ccc");
+        assert_eq!((toks[0].line, toks[1].line, toks[2].line), (1, 2, 3));
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let toks = lex("let s = \"oops");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

@@ -1,0 +1,224 @@
+//! D-class lints: source patterns that can make two runs of the same seed
+//! diverge. The PR 4 determinism contract (bit-identical schedules at every
+//! thread count) and the upcoming cross-arm scenario matrix both depend on
+//! these staying out of the deterministic crates.
+
+use super::{match_paren, LintId, PassCtx};
+use crate::report::Finding;
+
+/// D1 — `HashMap`/`HashSet` in a deterministic crate.
+///
+/// `std`'s hash collections randomize their seed per process, so *any*
+/// iteration order leaks nondeterminism into whatever consumes it. The
+/// token level cannot prove a map is never iterated, so the lint flags the
+/// type by name and the waiver carries the membership-only argument when
+/// one genuinely applies.
+pub fn d1_hash_collections(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.file.is_deterministic_crate() {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.is_masked(ci) {
+            continue;
+        }
+        let t = ctx.tok(ci);
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(ctx.finding(
+                LintId::D1,
+                ci,
+                format!(
+                    "`{}` in deterministic crate `{}`: iteration order is seeded per process; \
+                     use BTreeMap/BTreeSet or an indexed arena, or waive with a membership-only \
+                     justification",
+                    t.text, ctx.file.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// D2 — wall clock / entropy outside `bench`/`service`/binary targets.
+pub fn d2_wall_clock_entropy(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    if super::WALL_CLOCK_CRATES.contains(&ctx.file.crate_name.as_str()) || ctx.file.is_bin {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.is_masked(ci) {
+            continue;
+        }
+        let t = ctx.tok(ci);
+        let hit = if t.is_ident("Instant") {
+            // Only the clock read is banned; mentioning the type (say, in a
+            // struct that a bench fills in) is fine.
+            follows_path(ctx, ci, "now").then_some("Instant::now")
+        } else if t.is_ident("SystemTime") {
+            Some("SystemTime")
+        } else if t.is_ident("thread_rng") {
+            Some("thread_rng")
+        } else if t.is_ident("from_entropy") {
+            Some("from_entropy")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(ctx.finding(
+                LintId::D2,
+                ci,
+                format!(
+                    "`{what}` outside bench/service/bin: wall clock and OS entropy make runs \
+                     unreproducible; thread a seeded Rng / simulated Time through instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// `ident :: <name>` immediately after code index `ci`?
+fn follows_path(ctx: &PassCtx<'_>, ci: usize, name: &str) -> bool {
+    ci + 3 < ctx.code.len()
+        && ctx.tok(ci + 1).is_punct(':')
+        && ctx.tok(ci + 2).is_punct(':')
+        && ctx.tok(ci + 3).is_ident(name)
+}
+
+/// D3 — `partial_cmp(..)` collapsed with `unwrap`/`unwrap_or(..)`.
+///
+/// `unwrap_or(Ordering::Equal)` turns every NaN comparison into "equal",
+/// which silently violates comparator totality (and under `sort_unstable`
+/// the strict-weak-order contract); a bare `unwrap` trades that for a
+/// panic. Both have a one-line fix: `total_cmp`, or a keyed sort.
+pub fn d3_partial_cmp_unwrap(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.file.is_deterministic_crate() {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.is_masked(ci) || !ctx.tok(ci).is_ident("partial_cmp") {
+            continue;
+        }
+        // Skip trait-impl definitions: `fn partial_cmp(…)`.
+        if ci > 0 && ctx.tok(ci - 1).is_ident("fn") {
+            continue;
+        }
+        if ci + 1 >= ctx.code.len() || !ctx.tok(ci + 1).is_punct('(') {
+            continue;
+        }
+        let close = match_paren(ctx.toks, &ctx.code, ci + 1);
+        if close + 2 < ctx.code.len() && ctx.tok(close + 1).is_punct('.') {
+            let next = ctx.tok(close + 2);
+            if next.is_ident("unwrap")
+                || next.is_ident("unwrap_or")
+                || next.is_ident("unwrap_or_else")
+            {
+                out.push(ctx.finding(
+                    LintId::D3,
+                    ci,
+                    format!(
+                        "`partial_cmp(..).{}` collapses NaN into a fake ordering; use \
+                         `f64::total_cmp` (plus a tie-break if keys can collide) or a keyed sort",
+                        next.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// D4 — float-keyed `sort_by`/`sort_unstable_by` without a tie-break.
+///
+/// A comparator built from `total_cmp`/`partial_cmp` over *derived* float
+/// keys can rank distinct elements equal; their relative order then depends
+/// on the input permutation (and, for unstable sorts, on the algorithm's
+/// internals). The lint requires a `.then(..)`/`.then_with(..)` tie-break —
+/// except when the closure compares the elements themselves
+/// (`|a, b| a.total_cmp(b)`), where equal keys mean equal elements.
+pub fn d4_float_sort_tiebreak(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.file.is_deterministic_crate() {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.is_masked(ci) {
+            continue;
+        }
+        let t = ctx.tok(ci);
+        if !(t.is_ident("sort_by") || t.is_ident("sort_unstable_by")) {
+            continue;
+        }
+        if ci + 1 >= ctx.code.len() || !ctx.tok(ci + 1).is_punct('(') {
+            continue;
+        }
+        let close = match_paren(ctx.toks, &ctx.code, ci + 1);
+        let body: Vec<usize> = (ci + 2..close.min(ctx.code.len())).collect();
+        let has = |name: &str| body.iter().any(|&k| ctx.tok(k).is_ident(name));
+        if !(has("total_cmp") || has("partial_cmp")) {
+            continue; // not a float comparator
+        }
+        if has("then") || has("then_with") {
+            continue; // explicit tie-break present
+        }
+        if elements_are_keys(ctx, &body) {
+            continue; // |a, b| a.total_cmp(b): keys are the elements
+        }
+        out.push(ctx.finding(
+            LintId::D4,
+            ci,
+            format!(
+                "float-keyed `{}` without a deterministic tie-break: distinct elements can \
+                 compare equal and their order then depends on input permutation; append \
+                 `.then(..)` on a total key (index, id)",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Does the closure compare its own parameters directly —
+/// `|a, b| a.total_cmp(b)` / `a.total_cmp(&b)`? Then float keys ARE the
+/// elements and equal keys are interchangeable.
+fn elements_are_keys(ctx: &PassCtx<'_>, body: &[usize]) -> bool {
+    // Closure params: idents between the first `|` pair.
+    let mut params: Vec<&str> = Vec::new();
+    let mut it = body.iter();
+    let Some(&bar) = it.find(|&&k| ctx.tok(k).is_punct('|')) else { return false };
+    let mut k = bar + 1;
+    while k < *body.last().unwrap_or(&0) + 1 {
+        if !body.contains(&k) {
+            break;
+        }
+        let t = ctx.tok(k);
+        if t.is_punct('|') {
+            break;
+        }
+        if t.kind == crate::lexer::TokKind::Ident {
+            params.push(&t.text);
+        }
+        k += 1;
+    }
+    if params.len() != 2 {
+        return false;
+    }
+    // Find `<param> . (total_cmp|partial_cmp) ( &? <other param> )`.
+    for w in 0..body.len().saturating_sub(3) {
+        let (a, dot, f) = (ctx.tok(body[w]), ctx.tok(body[w + 1]), ctx.tok(body[w + 2]));
+        if !dot.is_punct('.') || !(f.is_ident("total_cmp") || f.is_ident("partial_cmp")) {
+            continue;
+        }
+        let Some(recv) = params.iter().position(|p| a.is_ident(p)) else { continue };
+        // Argument tokens: skip `(`, optional `&`, then the other param,
+        // then `)`.
+        let mut k = w + 3;
+        if body.get(k).is_none_or(|&i| !ctx.tok(i).is_punct('(')) {
+            continue;
+        }
+        k += 1;
+        if body.get(k).is_some_and(|&i| ctx.tok(i).is_punct('&')) {
+            k += 1;
+        }
+        let other = params[1 - recv];
+        if body.get(k).is_some_and(|&i| ctx.tok(i).is_ident(other))
+            && body.get(k + 1).is_some_and(|&i| ctx.tok(i).is_punct(')'))
+        {
+            return true;
+        }
+    }
+    false
+}

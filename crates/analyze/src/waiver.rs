@@ -1,0 +1,191 @@
+//! The inline waiver syntax:
+//!
+//! ```text
+//! // dsp-allow: D1 — membership-only set; never iterated
+//! let seen = HashSet::new();
+//! ```
+//!
+//! A waiver names one or more lint IDs (comma-separated) and MUST carry a
+//! reason after an em-dash/en-dash/hyphen separator. It applies to findings
+//! on its own line (trailing comment) or, for a standalone comment line, on
+//! the next line that holds code. A waiver that does not parse — unknown
+//! ID, missing reason, missing separator — is itself a finding (**W1**):
+//! silently ignoring a malformed waiver would make the wall porous exactly
+//! where someone believed it was covered.
+
+use crate::lexer::{Tok, TokKind};
+use crate::lints::LintId;
+use crate::report::Finding;
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Lints this waiver suppresses.
+    pub lints: Vec<LintId>,
+    /// The justification text (always non-empty — enforced at parse time).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+}
+
+/// Extract waivers (and W1 findings for malformed ones) from a token
+/// stream. `rel_path` is used for the W1 findings' location.
+pub fn collect_waivers(toks: &[Tok], rel_path: &str) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("dsp-allow") else { continue };
+        let spec = rest.trim_start_matches(':').trim();
+        match parse_spec(spec) {
+            Ok((lints, reason)) => {
+                // Trailing comment waives its own line; a standalone
+                // comment waives the next code-bearing line.
+                let standalone = !toks[..i].iter().any(|p| p.line == t.line && !p.is_comment());
+                let target_line = if standalone {
+                    toks[i + 1..].iter().find(|n| !n.is_comment()).map_or(t.line, |n| n.line)
+                } else {
+                    t.line
+                };
+                waivers.push(Waiver { lints, reason, comment_line: t.line, target_line });
+            }
+            Err(why) => malformed.push(Finding {
+                lint: LintId::W1,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "malformed dsp-allow waiver ({why}); expected \
+                                  `// dsp-allow: <LINT-ID>[,<LINT-ID>…] — <reason>`"
+                ),
+            }),
+        }
+    }
+    (waivers, malformed)
+}
+
+/// Parse `D1[, D3] — reason`. The separator may be an em-dash, en-dash, or
+/// one-or-more hyphens; the reason must be non-empty.
+fn parse_spec(spec: &str) -> Result<(Vec<LintId>, String), String> {
+    let (ids_part, reason) =
+        split_on_separator(spec).ok_or_else(|| "missing `— <reason>` separator".to_string())?;
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason".into());
+    }
+    let mut lints = Vec::new();
+    for raw in ids_part.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err("missing lint ID".into());
+        }
+        let id = LintId::parse(raw).ok_or_else(|| format!("unknown lint ID `{raw}`"))?;
+        if id == LintId::W1 {
+            return Err("W1 (malformed waiver) cannot itself be waived".into());
+        }
+        lints.push(id);
+    }
+    if lints.is_empty() {
+        return Err("missing lint ID".into());
+    }
+    Ok((lints, reason.to_string()))
+}
+
+fn split_on_separator(spec: &str) -> Option<(&str, &str)> {
+    for sep in ["—", "–"] {
+        if let Some(pos) = spec.find(sep) {
+            return Some((&spec[..pos], &spec[pos + sep.len()..]));
+        }
+    }
+    // Hyphen separator: require it to be a standalone ` - ` (or ` -- `)
+    // so reasons containing hyphenated words still parse when an em-dash
+    // was used; IDs never contain spaces.
+    if let Some(pos) = spec.find(" -") {
+        let after = spec[pos + 2..].trim_start_matches('-');
+        return Some((&spec[..pos], after));
+    }
+    None
+}
+
+/// Drop findings covered by a waiver on their line. Findings keep their
+/// order; waivers may cover several lints and several findings.
+pub fn apply_waivers(findings: Vec<Finding>, waivers: &[Waiver]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            f.lint == LintId::W1
+                || !waivers.iter().any(|w| w.target_line == f.line && w.lints.contains(&f.lint))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn waivers_of(src: &str) -> (Vec<Waiver>, Vec<Finding>) {
+        collect_waivers(&lex(src), "x.rs")
+    }
+
+    #[test]
+    fn trailing_waiver_targets_own_line() {
+        let (w, bad) = waivers_of("let x = 1; // dsp-allow: D1 — membership only\n");
+        assert!(bad.is_empty());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].target_line, 1);
+        assert_eq!(w[0].lints, vec![LintId::D1]);
+        assert_eq!(w[0].reason, "membership only");
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let (w, _) = waivers_of("// dsp-allow: C1 — pure counter\n// another comment\nload();\n");
+        assert_eq!(w[0].comment_line, 1);
+        assert_eq!(w[0].target_line, 3);
+    }
+
+    #[test]
+    fn comma_list_and_hyphen_separator() {
+        let (w, bad) = waivers_of("// dsp-allow: D1, D3 - legacy path\nx();\n");
+        assert!(bad.is_empty());
+        assert_eq!(w[0].lints, vec![LintId::D1, LintId::D3]);
+        assert_eq!(w[0].reason, "legacy path");
+    }
+
+    #[test]
+    fn unknown_id_missing_reason_and_w1_are_malformed() {
+        for src in [
+            "// dsp-allow: Z9 — whatever\n",
+            "// dsp-allow: D1\n",
+            "// dsp-allow: D1 —   \n",
+            "// dsp-allow: — no id\n",
+            "// dsp-allow: W1 — self-waiver\n",
+        ] {
+            let (w, bad) = waivers_of(src);
+            assert!(w.is_empty(), "{src:?} parsed");
+            assert_eq!(bad.len(), 1, "{src:?} not flagged");
+            assert_eq!(bad[0].lint, LintId::W1);
+        }
+    }
+
+    #[test]
+    fn apply_suppresses_only_matching_line_and_lint() {
+        let f = |lint, line| Finding {
+            lint,
+            path: "x.rs".into(),
+            line,
+            col: 1,
+            message: String::new(),
+        };
+        let (w, _) = waivers_of("// dsp-allow: D1 — ok\nx();\n");
+        let kept = apply_waivers(vec![f(LintId::D1, 2), f(LintId::D3, 2), f(LintId::D1, 3)], &w);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|k| !(k.lint == LintId::D1 && k.line == 2)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixture proof for every lint ID: each `tests/fixtures/<id>_bad.rs`
+//! snippet must make exactly that lint fire, and each `<id>_good.rs`
+//! counterpart (the documented fix) must scan completely clean under the
+//! FULL catalog. Running both directions through [`dsp_analyze::analyze_source`]
+//! — the same choke point the CLI uses — means a green run here proves the
+//! production gate actually bites.
+
+use dsp_analyze::analyze_source;
+use dsp_analyze::lints::{FileCtx, LintId};
+
+/// Scope each fixture the way the lint expects: D-lints need a
+/// deterministic crate, C2/P1 need `crates/service` (P1 specifically
+/// `server.rs`).
+fn ctx_for(lint: LintId) -> FileCtx {
+    match lint {
+        LintId::C2 => FileCtx {
+            crate_name: "service".into(),
+            rel_path: "crates/service/src/state.rs".into(),
+            is_bin: false,
+        },
+        LintId::P1 => FileCtx {
+            crate_name: "service".into(),
+            rel_path: "crates/service/src/server.rs".into(),
+            is_bin: false,
+        },
+        _ => FileCtx {
+            crate_name: "sched".into(),
+            rel_path: "crates/sched/src/fixture.rs".into(),
+            is_bin: false,
+        },
+    }
+}
+
+fn check(lint: LintId, bad: &str, good: &str) {
+    let ctx = ctx_for(lint);
+    let bad_findings = analyze_source(bad, &ctx, None);
+    assert!(
+        bad_findings.iter().any(|f| f.lint == lint),
+        "{lint:?} bad fixture did not fire {lint:?}; got {bad_findings:?}"
+    );
+    assert!(
+        bad_findings.iter().all(|f| f.lint == lint),
+        "{lint:?} bad fixture fired extra lints: {bad_findings:?}"
+    );
+    let good_findings = analyze_source(good, &ctx, None);
+    assert!(good_findings.is_empty(), "{lint:?} good fixture is not clean: {good_findings:?}");
+}
+
+#[test]
+fn d1_hash_collections() {
+    check(LintId::D1, include_str!("fixtures/d1_bad.rs"), include_str!("fixtures/d1_good.rs"));
+}
+
+#[test]
+fn d2_wall_clock_entropy() {
+    check(LintId::D2, include_str!("fixtures/d2_bad.rs"), include_str!("fixtures/d2_good.rs"));
+}
+
+#[test]
+fn d3_partial_cmp_unwrap() {
+    check(LintId::D3, include_str!("fixtures/d3_bad.rs"), include_str!("fixtures/d3_good.rs"));
+}
+
+#[test]
+fn d4_float_sort_tiebreak() {
+    check(LintId::D4, include_str!("fixtures/d4_bad.rs"), include_str!("fixtures/d4_good.rs"));
+}
+
+#[test]
+fn c1_ordering_justification() {
+    check(LintId::C1, include_str!("fixtures/c1_bad.rs"), include_str!("fixtures/c1_good.rs"));
+}
+
+#[test]
+fn c2_guard_across_blocking() {
+    check(LintId::C2, include_str!("fixtures/c2_bad.rs"), include_str!("fixtures/c2_good.rs"));
+}
+
+#[test]
+fn p1_handler_panics() {
+    check(LintId::P1, include_str!("fixtures/p1_bad.rs"), include_str!("fixtures/p1_good.rs"));
+}
+
+#[test]
+fn w1_malformed_waiver() {
+    check(LintId::W1, include_str!("fixtures/w1_bad.rs"), include_str!("fixtures/w1_good.rs"));
+}
+
+#[test]
+fn d2_entropy_sources_fire_individually() {
+    let ctx = ctx_for(LintId::D2);
+    for bad in
+        ["let r = thread_rng();", "let r = SmallRng::from_entropy();", "let t = SystemTime::now();"]
+    {
+        let f = analyze_source(bad, &ctx, None);
+        assert!(f.iter().any(|f| f.lint == LintId::D2), "{bad:?} did not fire D2");
+    }
+}
+
+#[test]
+fn lints_do_not_fire_outside_their_scope() {
+    // The same bad sources scanned under a non-deterministic crate (D-lints)
+    // or outside the service front end (C2/P1) must be clean — scoping is
+    // part of each lint's definition.
+    let bench = FileCtx {
+        crate_name: "bench".into(),
+        rel_path: "crates/bench/src/perf.rs".into(),
+        is_bin: false,
+    };
+    for src in [
+        include_str!("fixtures/d1_bad.rs"),
+        include_str!("fixtures/d2_bad.rs"),
+        include_str!("fixtures/d3_bad.rs"),
+        include_str!("fixtures/d4_bad.rs"),
+        include_str!("fixtures/c2_bad.rs"),
+        include_str!("fixtures/p1_bad.rs"),
+    ] {
+        let f = analyze_source(src, &bench, None);
+        assert!(f.is_empty(), "fired outside scope: {f:?}");
+    }
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let ctx = ctx_for(LintId::D1);
+    let src = format!(
+        "pub fn live() {{}}\n#[cfg(test)]\nmod tests {{\n{}\n}}\n",
+        include_str!("fixtures/d1_bad.rs")
+    );
+    let f = analyze_source(&src, &ctx, None);
+    assert!(f.is_empty(), "cfg(test) code must be exempt: {f:?}");
+}

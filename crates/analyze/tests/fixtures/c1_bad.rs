@@ -1,0 +1,6 @@
+// C1 bad: a memory ordering with no justification comment.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn check(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+// C1 good: the `// ordering:` comment says what the choice synchronizes
+// with (or why nothing needs synchronizing).
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn check(flag: &AtomicBool) -> bool {
+    // ordering: Relaxed — standalone flag, no data published through it.
+    flag.load(Ordering::Relaxed)
+}

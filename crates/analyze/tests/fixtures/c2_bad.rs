@@ -1,0 +1,10 @@
+// C2 bad: a lock guard held across a blocking channel send.
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    for &v in guard.iter() {
+        tx.send(v).unwrap();
+    }
+}

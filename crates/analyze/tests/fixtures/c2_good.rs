@@ -1,0 +1,10 @@
+// C2 good: copy what you need out of the guard, drop it, then block.
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let snapshot: Vec<u64> = state.lock().unwrap().clone();
+    for v in snapshot {
+        tx.send(v).unwrap();
+    }
+}

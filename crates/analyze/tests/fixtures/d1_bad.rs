@@ -1,0 +1,10 @@
+// D1 bad: hash collections in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

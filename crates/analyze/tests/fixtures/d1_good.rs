@@ -1,0 +1,10 @@
+// D1 good: ordered collections iterate deterministically.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

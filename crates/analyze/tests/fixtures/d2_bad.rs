@@ -1,0 +1,6 @@
+// D2 bad: wall clock and OS entropy in a deterministic crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

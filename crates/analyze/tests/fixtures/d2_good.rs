@@ -1,0 +1,11 @@
+// D2 good: the type may be named (e.g. stored by a harness); only the
+// clock read is banned, and simulated time flows in as a parameter.
+use std::time::Instant;
+
+pub struct Sample {
+    pub at: Instant,
+}
+
+pub fn record(at: Instant) -> Sample {
+    Sample { at }
+}

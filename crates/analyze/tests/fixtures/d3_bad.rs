@@ -1,0 +1,4 @@
+// D3 bad: NaN silently collapses into `Equal`.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,4 @@
+// D3 good: total_cmp is total — NaN gets a fixed position.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

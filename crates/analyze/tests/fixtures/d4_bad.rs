@@ -1,0 +1,5 @@
+// D4 bad: derived float keys can tie; without a tie-break the order of
+// tied elements depends on the input permutation.
+pub fn order(xs: &mut [(f64, u32)]) {
+    xs.sort_by(|a, b| a.0.total_cmp(&b.0));
+}

@@ -1,0 +1,4 @@
+// D4 good: a total key (the id) breaks float-key ties deterministically.
+pub fn order(xs: &mut [(f64, u32)]) {
+    xs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+}

@@ -1,0 +1,7 @@
+// P1 bad: a panic path in a request handler tears the connection down
+// with no protocol reply.
+pub fn handle(fields: &[&str]) -> String {
+    let op = fields[0];
+    let arg: u64 = fields[1].parse().unwrap();
+    format!("{op}:{arg}")
+}

@@ -1,0 +1,6 @@
+// P1 good: every failure maps to a stable reason token.
+pub fn handle(fields: &[&str]) -> Result<String, &'static str> {
+    let op = fields.first().ok_or("missing_op")?;
+    let arg: u64 = fields.get(1).ok_or("missing_arg")?.parse().map_err(|_| "bad_arg")?;
+    Ok(format!("{op}:{arg}"))
+}

@@ -1,0 +1,4 @@
+// W1 bad: a waiver with no reason is itself a finding — a porous wall
+// exactly where someone believed it was covered.
+// dsp-allow: D1
+pub fn nothing() {}

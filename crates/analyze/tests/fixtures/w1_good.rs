@@ -1,0 +1,3 @@
+// W1 good: ID plus a reason after the separator.
+// dsp-allow: D1 — membership-only set, never iterated
+pub fn nothing() {}

@@ -24,6 +24,9 @@
 //!
 //! dsp bench   [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]
 //! dsp bench   --compare OLD.json NEW.json [--threshold PCT]
+//!
+//! dsp analyze [--json] [--lint ID]... [--baseline FILE]
+//!             [--write-baseline FILE] [--root DIR]
 //! ```
 //!
 //! Artifacts (`--dump-*`, snapshots) are versioned JSON: every file
@@ -82,7 +85,9 @@ fn usage() -> ! {
          \x20      dsp metrics --addr HOST:PORT\n\
          \x20      dsp drain --addr HOST:PORT [--out SNAPSHOT_FILE]\n\
          \x20      dsp bench [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]\n\
-         \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]"
+         \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]\n\
+         \x20      dsp analyze [--json] [--lint ID]... [--baseline FILE] \
+         [--write-baseline FILE] [--root DIR]"
     );
     std::process::exit(2)
 }
@@ -687,10 +692,103 @@ fn drain_main(argv: &[String]) {
     std::process::exit(1)
 }
 
+// ---------------------------------------------------------------- analyze
+
+/// `dsp analyze` — run the dsp-analyze lint wall (DESIGN.md §12) over the
+/// workspace. Exit 0 when no unwaivered, un-baselined finding remains, 1
+/// when one does, 2 on usage/IO errors — the same convention as `verify`,
+/// so CI treats both as blocking gates the same way.
+fn analyze_main(argv: &[String]) {
+    let mut json = false;
+    let mut lints: Vec<dsp_analyze::lints::LintId> = Vec::new();
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut root_arg: Option<String> = None;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => json = true,
+            "--lint" => {
+                let raw = next(&mut i);
+                let id = dsp_analyze::lints::LintId::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("dsp: unknown lint ID `{raw}`; known IDs:");
+                    for l in dsp_analyze::lints::ALL_LINTS {
+                        eprintln!("  {}  {}", l.as_str(), l.summary());
+                    }
+                    std::process::exit(2)
+                });
+                lints.push(id);
+            }
+            "--baseline" => baseline_path = Some(next(&mut i)),
+            "--write-baseline" => write_baseline = Some(next(&mut i)),
+            "--root" => root_arg = Some(next(&mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let root = match root_arg {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("dsp: cannot read current directory: {e}");
+                std::process::exit(2)
+            });
+            dsp_analyze::walker::find_workspace_root(&cwd).unwrap_or_else(|| {
+                eprintln!(
+                    "dsp: no workspace root ([workspace] Cargo.toml) above {}; pass --root",
+                    cwd.display()
+                );
+                std::process::exit(2)
+            })
+        }
+    };
+    let mut opts = dsp_analyze::Options::default();
+    if !lints.is_empty() {
+        opts.lints = Some(lints);
+    }
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("dsp: cannot open baseline {path}: {e}");
+            std::process::exit(2)
+        });
+        opts.baseline = dsp_analyze::baseline::parse(&text).unwrap_or_else(|e| {
+            eprintln!("dsp: {path}: {e}");
+            std::process::exit(2)
+        });
+    }
+    let analysis = dsp_analyze::analyze_workspace(&root, &opts).unwrap_or_else(|e| {
+        eprintln!("dsp: analyze failed under {}: {e}", root.display());
+        std::process::exit(2)
+    });
+    if let Some(path) = write_baseline {
+        let doc = dsp_analyze::baseline::render(&analysis.fresh);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("dsp: cannot write {path}: {e}");
+            std::process::exit(2)
+        }
+        eprintln!("dsp: baseline of {} finding(s) written to {path}", analysis.fresh.len());
+    }
+    if json {
+        println!("{}", dsp_analyze::report::render_json(&analysis.fresh));
+    } else {
+        print!("{}", dsp_analyze::report::render_human(&analysis.fresh));
+        if !analysis.baselined.is_empty() {
+            eprintln!("dsp: {} baselined finding(s) suppressed", analysis.baselined.len());
+        }
+    }
+    std::process::exit(if analysis.fresh.is_empty() { 0 } else { 1 })
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("verify") => verify_main(&argv[1..]),
+        Some("analyze") => analyze_main(&argv[1..]),
         Some("serve") => serve_main(&argv[1..]),
         Some("submit") => submit_main(&argv[1..]),
         Some("status") => status_main(&argv[1..]),

@@ -479,6 +479,8 @@ fn bench_service_read(opts: &BenchOptions, cached: bool) -> BenchResult {
             let resp =
                 c.call(&Json::obj(vec![("op", Json::Str("drain".into()))])).expect("drain call");
             let wall = t0.elapsed();
+            // ordering: SeqCst — standalone completion flag for the sampling
+            // loop; measurement harness, not on any latency path.
             drained.store(true, Ordering::SeqCst);
             (resp, wall)
         })
@@ -492,6 +494,8 @@ fn bench_service_read(opts: &BenchOptions, cached: bool) -> BenchResult {
     let (idle_tx, idle_rx) = std::sync::mpsc::channel::<dsp_service::Client>();
     let mut in_flight: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let cap = Instant::now() + std::time::Duration::from_secs(60);
+    // ordering: SeqCst — matches the drain thread's store above; only gates
+    // when sampling stops, no data is published through it.
     while !drained.load(Ordering::SeqCst) && Instant::now() < cap {
         while let Ok(c) = idle_rx.try_recv() {
             pool.push(c);

@@ -37,6 +37,9 @@ where
         for _ in 0..workers {
             let tx = tx.clone();
             scope.spawn(move |_| loop {
+                // ordering: Relaxed — a pure work-stealing ticket counter;
+                // results flow back through the channel, whose send/recv
+                // pair provides the happens-before edge for the data.
                 let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;

@@ -126,6 +126,7 @@ pub fn validate_job(job: &Job) -> Result<(), ValidationError> {
 /// [`validate_job`] over a whole batch, plus cross-job invariants: every
 /// `JobId` must be unique. Returns the first problem found.
 pub fn validate_jobs(jobs: &[Job]) -> Result<(), BatchError> {
+    // dsp-allow: D1 — membership-only duplicate check; the set is never iterated, so hash order cannot leak
     let mut seen = std::collections::HashSet::with_capacity(jobs.len());
     for (index, job) in jobs.iter().enumerate() {
         if !seen.insert(job.id) {

@@ -309,7 +309,10 @@ fn process_node(
                     int_vars.iter().copied().filter(|v| !is_int(relax.x[v.0])).max_by(|a, b| {
                         let fa = (relax.x[a.0] - relax.x[a.0].round()).abs();
                         let fb = (relax.x[b.0] - relax.x[b.0].round()).abs();
-                        fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+                        // total_cmp only, no tie-break: `max_by` already
+                        // returns the LAST maximum, which is the behavior
+                        // the recorded B&B exploration paths depend on.
+                        fa.total_cmp(&fb)
                     });
                 match branch_var {
                     None => {
@@ -604,6 +607,9 @@ fn worker_loop(shared: &RoundShared<'_>, tx: mpsc::Sender<NodeOutcome>, worker: 
         // Safe to read outside the lock: a successful claim below proves
         // round `gen` was still incomplete at read time, and the
         // coordinator only rewrites these bits after a round completes.
+        // ordering: Acquire — pairs with the coordinator's Release store;
+        // observing the generation bump under the lock happens-after that
+        // store, so this load sees the round's frozen cutoff bits.
         let cutoff = f64::from_bits(shared.incumbent_bits.load(Ordering::Acquire));
         while let Some((idx, node)) = shared.claim(gen) {
             let out =
@@ -702,6 +708,9 @@ pub fn solve_milp(p: &Problem, opts: MilpOptions) -> Result<MilpSolution, LpErro
             // claim a slot of this generation observed the bump under the
             // lock *after* this store, so it pruned against exactly this
             // round's frozen cutoff.
+            // ordering: Release — pairs with the workers' Acquire load
+            // above; the lock-protected generation bump that follows makes
+            // the store visible before any slot of this round is claimed.
             shared.incumbent_bits.store(cutoff.to_bits(), Ordering::Release);
             let gen = {
                 let mut st = shared.state.lock().expect("round state mutex");

@@ -170,7 +170,9 @@ impl PreemptPolicy for DspPolicy {
                 .filter(|(_, r)| r.allowable_wait > self.params.epoch)
                 .map(|(i, r)| (self.priority(r), i)),
         );
-        preemptable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Total order with an index tie-break: equal priorities must not
+        // let the input permutation pick the victim (determinism contract).
+        preemptable.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut admitted = std::mem::take(&mut self.admitted);
         admitted.clear();
         admitted.resize(view.waiting.len(), false);

@@ -42,10 +42,10 @@ impl PreemptPolicy for NatjamPolicy {
         victims.sort_by(|a, b| {
             b.demand
                 .l1()
-                .partial_cmp(&a.demand.l1())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.demand.l1())
                 .then(b.deadline.cmp(&a.deadline))
                 .then(a.remaining_time.cmp(&b.remaining_time))
+                .then(a.id.cmp(&b.id))
         });
         // Every waiting production task may evict one research task (whole
         // queue considered; no dependency check — Natjam predates DAG
@@ -158,5 +158,28 @@ mod tests {
         let acts = NatjamPolicy.decide(Time::ZERO, &view, &world);
         // Equal demand: the max-deadline research task goes first.
         assert_eq!(acts[0].evict, TaskId::new(2, 0));
+    }
+
+    #[test]
+    fn nan_demand_does_not_make_eviction_input_order_dependent() {
+        // Regression: the eviction sort used
+        // `partial_cmp(..).unwrap_or(Equal)`, so a NaN demand compared
+        // "equal" to everything and the victim depended on the order
+        // `view.running` happened to arrive in. With `total_cmp` the NaN
+        // sorts to a fixed position and both permutations must agree.
+        let jobs = vec![job(0, JobClass::Small), job(1, JobClass::Medium), job(2, JobClass::Large)];
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let nan = snap(TaskId::new(1, 0), true, f64::NAN, 100, 5_000);
+        let big = snap(TaskId::new(2, 0), true, 0.9, 100, 5_000);
+        let waiter = snap(TaskId::new(0, 0), false, 0.1, 50, 1_000);
+        let decide = |running: Vec<TaskSnapshot>| {
+            let view = NodeView { node: NodeId(0), running, waiting: vec![waiter], slots: 2 };
+            NatjamPolicy.decide(Time::ZERO, &view, &world)
+        };
+        let fwd = decide(vec![nan, big]);
+        let rev = decide(vec![big, nan]);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].evict, rev[0].evict, "victim must not depend on input permutation");
+        assert_eq!(fwd[0].admit, rev[0].admit);
     }
 }

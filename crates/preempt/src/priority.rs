@@ -19,14 +19,17 @@
 use dsp_dag::{JobId, TaskId};
 use dsp_sim::{NodeView, TaskSnapshot, WorldCtx};
 use dsp_units::Dur;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Computed priorities for every live (not-done) task visible this epoch,
-/// stored per job for O(1) hash-free task lookup (the preemption policy
-/// reads millions of priorities per run on large sweeps).
+/// stored per job for hash-free task lookup (the preemption policy reads
+/// millions of priorities per run on large sweeps). A `BTreeMap` keyed by
+/// job id keeps [`PriorityMap::values`] in a fixed order — hash-map
+/// iteration is seeded per process, which the determinism contract (and
+/// lint D1) forbids in this crate.
 #[derive(Debug, Clone, Default)]
 pub struct PriorityMap {
-    per_job: HashMap<u32, Vec<f64>>,
+    per_job: BTreeMap<u32, Vec<f64>>,
     len: usize,
 }
 
@@ -57,7 +60,7 @@ impl PriorityMap {
         self.len == 0
     }
 
-    /// Iterate all priorities (order unspecified).
+    /// Iterate all priorities (job-id order, task order within a job).
     pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
         self.per_job.values().flatten().copied().filter(|p| !p.is_nan())
     }
@@ -126,8 +129,9 @@ pub fn compute_priorities_ref(
     world: &WorldCtx<'_>,
     w: &PriorityWeights,
 ) -> PriorityMap {
-    // Gather live snapshots per job (NAN-marked slots = finished/absent).
-    let mut snaps: HashMap<u32, Vec<Option<TaskSnapshot>>> = HashMap::new();
+    // Gather live snapshots per job (None slots = finished/absent). The
+    // BTreeMap doubles as the deterministic job iteration order below.
+    let mut snaps: BTreeMap<u32, Vec<Option<TaskSnapshot>>> = BTreeMap::new();
     for view in views {
         for s in view.running.iter().chain(view.waiting.iter()) {
             let job = world.job_of(s.id);
@@ -136,11 +140,8 @@ pub fn compute_priorities_ref(
         }
     }
     let mut out = PriorityMap::new();
-    let mut jobs_seen: Vec<u32> = snaps.keys().copied().collect();
-    jobs_seen.sort_unstable();
-    for j in jobs_seen {
+    for (&j, job_snaps) in &snaps {
         let job = world.find(JobId(j)).expect("job appeared in an epoch view");
-        let job_snaps = &snaps[&j];
         let mut prio = vec![f64::NAN; job.num_tasks()];
         for &v in job.dag.topo_order().iter().rev() {
             let Some(s) = &job_snaps[v as usize] else { continue }; // finished task

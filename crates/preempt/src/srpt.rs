@@ -64,11 +64,11 @@ impl PreemptPolicy for SrptPolicy {
         // Running tasks ascending by priority; waiting descending.
         let mut victims: Vec<&TaskSnapshot> = view.running.iter().collect();
         victims.sort_by(|a, b| {
-            self.priority(a).partial_cmp(&self.priority(b)).unwrap_or(std::cmp::Ordering::Equal)
+            self.priority(a).total_cmp(&self.priority(b)).then_with(|| a.id.cmp(&b.id))
         });
         let mut waiters: Vec<&TaskSnapshot> = view.waiting.iter().collect();
         waiters.sort_by(|a, b| {
-            self.priority(b).partial_cmp(&self.priority(a)).unwrap_or(std::cmp::Ordering::Equal)
+            self.priority(b).total_cmp(&self.priority(a)).then_with(|| a.id.cmp(&b.id))
         });
         let mut vi = 0usize;
         for w in waiters {
@@ -187,5 +187,27 @@ mod tests {
             acts,
             vec![PreemptAction { evict: TaskId::new(0, 1), admit: TaskId::new(0, 2) }]
         );
+    }
+
+    #[test]
+    fn equal_priority_victims_are_ordered_by_id_not_input_order() {
+        // Regression: the victim sort collapsed ties (and NaN) with
+        // `unwrap_or(Equal)`, so which of two equal-priority runners was
+        // evicted depended on the order `view.running` arrived in. The
+        // tie-break on TaskId makes the decision a pure function of the
+        // snapshot *set*.
+        let jobs = jobs();
+        let world = WorldCtx { jobs: &jobs, now: Time::ZERO };
+        let a = snap(TaskId::new(0, 0), true, 30_000, 0);
+        let b = snap(TaskId::new(0, 1), true, 30_000, 0);
+        let waiter = snap(TaskId::new(0, 2), false, 500, 0);
+        let decide = |running: Vec<TaskSnapshot>| {
+            let view = NodeView { node: NodeId(0), running, waiting: vec![waiter], slots: 2 };
+            SrptPolicy::default().decide(Time::ZERO, &view, &world)
+        };
+        let fwd = decide(vec![a, b]);
+        let rev = decide(vec![b, a]);
+        assert_eq!(fwd, rev, "eviction must not depend on input permutation");
+        assert_eq!(fwd[0].evict, TaskId::new(0, 0), "lowest id wins the tie");
     }
 }

@@ -88,12 +88,7 @@ impl SlotSim {
         }
         let mut node_order: Vec<usize> = (0..cluster.len()).collect();
         node_order.sort_by(|&a, &b| {
-            cluster.nodes[b]
-                .rate()
-                .get()
-                .partial_cmp(&cluster.nodes[a].rate().get())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            cluster.nodes[b].rate().get().total_cmp(&cluster.nodes[a].rate().get()).then(a.cmp(&b))
         });
         SlotSim { events, free_slots, node_order }
     }

@@ -115,9 +115,7 @@ impl Scheduler for TetrisScheduler {
                 order.sort_by(|&(aj, av), &(bj, bv)| {
                     let da = jobs[aj].task(av).demand.l1();
                     let db = jobs[bj].task(bv).demand.l1();
-                    db.partial_cmp(&da)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then((aj, av).cmp(&(bj, bv)))
+                    db.total_cmp(&da).then((aj, av).cmp(&(bj, bv)))
                 });
                 // One heap entry per slot: (free-at, node).
                 let mut slots: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =

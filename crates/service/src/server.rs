@@ -106,10 +106,15 @@ struct Shared {
 
 impl Shared {
     fn stopping(&self) -> bool {
+        // ordering: SeqCst — a plain shutdown latch, never paired with other
+        // data; flipped once, read in accept/handler loops. Not hot enough
+        // to justify reasoning about a weaker ordering.
         self.shutdown.load(Ordering::SeqCst)
     }
 
     fn stop(&self) {
+        // ordering: SeqCst — see `stopping`; the store publishes nothing
+        // beyond the flag itself.
         self.shutdown.store(true, Ordering::SeqCst);
     }
 

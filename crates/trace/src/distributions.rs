@@ -79,7 +79,7 @@ mod tests {
         let mut r = rng();
         let p = LogNormalParams { median: 10.0, sigma: 0.8 };
         let mut samples: Vec<f64> = (0..20_000).map(|_| log_normal(&mut r, p)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         let med = samples[samples.len() / 2];
         assert!((med - 10.0).abs() / 10.0 < 0.1, "empirical median {med}");
         assert!(samples.iter().all(|&s| s > 0.0));
