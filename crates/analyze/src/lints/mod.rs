@@ -40,8 +40,9 @@ pub enum LintId {
     /// `crates/service`.
     C2,
     /// `unwrap`/`expect`/`panic!`-family/slice-index in the service front
-    /// end (`server.rs`) — request handlers must map failures to stable
-    /// reason tokens, not tear the connection thread down.
+    /// end (`server.rs` and the `reactor/` event loop) — request handlers
+    /// must map failures to stable reason tokens, not tear the connection
+    /// thread (or, for a reactor thread, every connection it owns) down.
     P1,
     /// Malformed `dsp-allow` waiver comment (unknown lint ID, missing
     /// reason). Not waivable.

@@ -14,10 +14,16 @@ use crate::report::Finding;
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// P1 — `unwrap`/`expect`, panicking macros, and slice-index expressions in
-/// `crates/service/src/server.rs` (outside tests). Request handlers must
-/// return protocol errors with stable reason tokens, never unwind.
+/// the service front end — `crates/service/src/server.rs` and every file
+/// under `crates/service/src/reactor/` (outside tests). Request handlers
+/// must return protocol errors with stable reason tokens, never unwind;
+/// for a reactor thread the stakes are higher still, since one panic
+/// tears down every connection that thread owns, not just the caller's.
 pub fn p1_handler_panics(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
-    if ctx.file.crate_name != "service" || ctx.file.basename() != "server.rs" {
+    let in_scope = ctx.file.crate_name == "service"
+        && (ctx.file.basename() == "server.rs"
+            || ctx.file.rel_path.contains("service/src/reactor/"));
+    if !in_scope {
         return;
     }
     for ci in 0..ctx.code.len() {

@@ -82,6 +82,36 @@ fn p1_handler_panics() {
 }
 
 #[test]
+fn p1_covers_the_reactor_front_end() {
+    // The same production choke point, scoped to a file under
+    // `crates/service/src/reactor/`: the bad fixture must fire P1 there,
+    // the good one must scan clean.
+    let reactor = FileCtx {
+        crate_name: "service".into(),
+        rel_path: "crates/service/src/reactor/frontend.rs".into(),
+        is_bin: false,
+    };
+    let bad = analyze_source(include_str!("fixtures/p1_reactor_bad.rs"), &reactor, None);
+    assert!(
+        bad.iter().any(|f| f.lint == LintId::P1),
+        "P1 did not fire under the reactor path; got {bad:?}"
+    );
+    assert!(bad.iter().all(|f| f.lint == LintId::P1), "extra lints fired: {bad:?}");
+    let good = analyze_source(include_str!("fixtures/p1_reactor_good.rs"), &reactor, None);
+    assert!(good.is_empty(), "reactor good fixture is not clean: {good:?}");
+
+    // Scoping still holds: the same bad source in a service file that is
+    // neither `server.rs` nor under `reactor/` stays out of P1's reach.
+    let elsewhere = FileCtx {
+        crate_name: "service".into(),
+        rel_path: "crates/service/src/driver.rs".into(),
+        is_bin: false,
+    };
+    let out = analyze_source(include_str!("fixtures/p1_reactor_bad.rs"), &elsewhere, None);
+    assert!(out.iter().all(|f| f.lint != LintId::P1), "P1 fired outside its scope: {out:?}");
+}
+
+#[test]
 fn w1_malformed_waiver() {
     check(LintId::W1, include_str!("fixtures/w1_bad.rs"), include_str!("fixtures/w1_good.rs"));
 }

@@ -1,0 +1,9 @@
+// P1 bad (reactor scope): a panic on an event-loop thread tears down
+// every connection that thread owns, not just the offender's.
+pub fn dispatch(slab: &mut Vec<Option<u64>>, slot: usize) -> u64 {
+    let conn = slab[slot].expect("slot must be live");
+    if conn == 0 {
+        panic!("token wrapped");
+    }
+    conn
+}

@@ -1,0 +1,9 @@
+// P1 good (reactor scope): a stale token or empty slot is inert — the
+// event skips it and the loop carries on.
+pub fn dispatch(slab: &mut Vec<Option<u64>>, slot: usize) -> Option<u64> {
+    let conn = slab.get_mut(slot).and_then(|entry| entry.as_mut())?;
+    if *conn == 0 {
+        return None;
+    }
+    Some(*conn)
+}

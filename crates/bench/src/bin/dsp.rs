@@ -79,7 +79,8 @@ fn usage() -> ! {
          \x20      dsp verify --snapshot FILE [--dep-oblivious] [--no-deadlines] [--json]\n\
          \x20      dsp serve [--addr HOST:PORT] [--cluster NAME] [--sched NAME] \
          [--preempt NAME] [--period SECS] [--epoch SECS] [--time-scale F] \
-         [--max-pending TASKS] [--no-feasibility]\n\
+         [--max-pending TASKS] [--no-feasibility] [--read-cache on|off] \
+         [--frontend threads|reactor] [--max-conns N] [--reactor-threads N]\n\
          \x20      dsp submit --addr HOST:PORT (--file FILE | --gen N [--seed S] [--scale F])\n\
          \x20      dsp status --addr HOST:PORT --job ID\n\
          \x20      dsp metrics --addr HOST:PORT\n\
@@ -474,6 +475,9 @@ fn serve_main(argv: &[String]) {
     let mut time_scale = 600.0_f64;
     let mut admission = dsp_service::AdmissionConfig::default();
     let mut read_cache = true;
+    let mut frontend = dsp_service::Frontend::platform_default();
+    let mut max_conns = 0usize;
+    let mut reactor_threads = 0usize;
     let mut i = 0;
     let next = |i: &mut usize| -> String {
         *i += 1;
@@ -516,6 +520,13 @@ fn serve_main(argv: &[String]) {
                     _ => usage(),
                 }
             }
+            "--frontend" => {
+                frontend = dsp_service::Frontend::parse(&next(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--max-conns" => max_conns = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--reactor-threads" => {
+                reactor_threads = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -537,13 +548,17 @@ fn serve_main(argv: &[String]) {
         time_scale,
         tick: std::time::Duration::from_millis(10),
         read_cache,
+        frontend,
+        max_conns,
+        reactor_threads,
         ..Default::default()
     };
     let handle = dsp_service::serve(driver, config).unwrap_or_else(|e| {
-        eprintln!("dsp: failed to bind: {e}");
+        eprintln!("dsp: failed to start: {e}");
         std::process::exit(1)
     });
     println!("dspd listening on {}", handle.addr);
+    println!("dspd frontend: {}", frontend.name());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();

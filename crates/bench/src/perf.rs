@@ -440,6 +440,11 @@ fn bench_service_read(opts: &BenchOptions, cached: bool) -> BenchResult {
             time_scale: 0.0,
             tick: std::time::Duration::from_millis(5),
             read_cache: cached,
+            // Pinned to the thread-per-connection frontend: this bench is
+            // the PR 5 read-lane trajectory, and the committed numbers
+            // stay comparable only if the accept path stays fixed. The
+            // reactor frontend has its own C10K bench below.
+            frontend: dsp_service::Frontend::Threads,
             ..Default::default()
         },
     )
@@ -549,6 +554,122 @@ fn bench_service_read(opts: &BenchOptions, cached: bool) -> BenchResult {
 }
 
 // ---------------------------------------------------------------------------
+// Bench 7 (--service, linux): the C10K leg. Thousands of idle connections
+// held open against the reactor front end while a small active fleet polls
+// the read lane — the scenario the epoll reactor exists for. The threads
+// front end would need one OS thread per idle socket here; the reactor's
+// thread count (recorded as a counter straight from /proc) stays flat.
+// ---------------------------------------------------------------------------
+
+/// OS threads in this process right now (the server runs in-process, so
+/// this is front-end pool + driver/ticker + harness, and must not scale
+/// with connection count).
+#[cfg(target_os = "linux")]
+fn process_thread_count() -> u64 {
+    std::fs::read_dir("/proc/self/task").map(|d| d.count() as u64).unwrap_or(0)
+}
+
+#[cfg(target_os = "linux")]
+fn bench_service_c10k(opts: &BenchOptions) -> BenchResult {
+    let (n_idle, n_active, rounds) = if opts.quick { (500, 20, 10) } else { (5_000, 200, 25) };
+    let params = Params::default();
+    let driver = dsp_service::OnlineDriver::new(
+        uniform(8, 1000.0, 2),
+        params.engine_config(),
+        params.sched_period,
+        dsp_service::build_scheduler("dsp").expect("known scheduler"),
+        dsp_service::build_policy("dsp", &params).expect("known policy"),
+        AdmissionConfig { max_pending_tasks: 1_000_000, check_feasibility: false },
+    );
+    let handle = dsp_service::serve(
+        driver,
+        dsp_service::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(5),
+            frontend: dsp_service::Frontend::Reactor,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr.to_string();
+    let threads_before = process_thread_count();
+
+    // Seed a little real state so reads serialize a non-trivial snapshot.
+    let jobs = bench_workload(20, 0.02);
+    let requests: Vec<JobRequest> = jobs.iter().map(JobRequest::from_job).collect();
+    let mut submitter = dsp_service::Client::connect(&addr).expect("connect");
+    for chunk in requests.chunks(10) {
+        let resp = submitter.call(&dsp_service::wire::submit_request(chunk)).expect("submit");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    // The idle herd: established, then silent. `connect` returns on the
+    // kernel handshake, so every 64th connection also round-trips a ping
+    // — that paces the herd at the server's *accept* rate and proves the
+    // reactor is actually adopting sockets, not letting them rot in the
+    // backlog.
+    let ping = Json::obj(vec![("op", Json::Str("ping".into()))]);
+    let t0 = Instant::now();
+    let mut idle: Vec<std::net::TcpStream> = Vec::with_capacity(n_idle);
+    for i in 0..n_idle {
+        if i % 64 == 63 {
+            let mut probe = dsp_service::Client::connect(&addr).expect("probe connect");
+            let resp = probe.call(&ping).expect("probe ping");
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        }
+        idle.push(std::net::TcpStream::connect(&addr).expect("idle connect"));
+    }
+    let herd_ms = t0.elapsed().as_millis() as u64;
+
+    // The active fleet polls the read lane round-robin while the herd
+    // sits on the same epoll instances.
+    let metrics_req = Json::obj(vec![("op", Json::Str("metrics".into()))]);
+    let mut fleet: Vec<dsp_service::Client> = Vec::with_capacity(n_active);
+    for _ in 0..n_active {
+        fleet.push(dsp_service::Client::connect(&addr).expect("active connect"));
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(n_active * rounds);
+    for _ in 0..rounds {
+        for c in &mut fleet {
+            let t = Instant::now();
+            let resp = c.call(&metrics_req).expect("active read");
+            latencies.push(t.elapsed().as_nanos() as u64);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        }
+    }
+    let threads_loaded = process_thread_count();
+
+    latencies.sort_unstable();
+    let p50 = sorted_percentile(&latencies, 50.0);
+    let p99 = sorted_percentile(&latencies, 99.0);
+
+    let resp =
+        submitter.call(&Json::obj(vec![("op", Json::Str("drain".into()))])).expect("drain call");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    drop(idle);
+    drop(fleet);
+    handle.wait();
+
+    BenchResult {
+        name: "service_c10k_reactor".into(),
+        // Headline = tail read latency with the herd attached.
+        wall_ns: p99,
+        iters: latencies.len() as u64,
+        counters: vec![
+            ("idle_conns".into(), n_idle as u64),
+            ("active_conns".into(), n_active as u64),
+            ("reads".into(), latencies.len() as u64),
+            ("read_p50_ns".into(), p50),
+            ("read_p99_ns".into(), p99),
+            ("herd_connect_ms".into(), herd_ms),
+            ("threads_before_herd".into(), threads_before),
+            ("threads_with_herd".into(), threads_loaded),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Harness driver + JSON in/out + compare.
 // ---------------------------------------------------------------------------
 
@@ -580,6 +701,14 @@ pub fn run_all(opts: &BenchOptions) -> Vec<BenchResult> {
         // read lane's whole argument.
         for cached in [true, false] {
             let r = bench_service_read(opts, cached);
+            narrate(&r);
+            out.push(r);
+        }
+        // The C10K leg needs the epoll reactor, so it only exists on
+        // linux; elsewhere `--service` covers the two read benches only.
+        #[cfg(target_os = "linux")]
+        {
+            let r = bench_service_c10k(opts);
             narrate(&r);
             out.push(r);
         }

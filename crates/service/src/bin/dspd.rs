@@ -5,6 +5,7 @@
 //!      [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none]
 //!      [--period SECS] [--epoch SECS] [--time-scale F]
 //!      [--max-pending TASKS] [--no-feasibility] [--read-cache on|off]
+//!      [--frontend threads|reactor] [--max-conns N] [--reactor-threads N]
 //! ```
 //!
 //! Binds the socket (port 0 picks an ephemeral port), prints
@@ -15,6 +16,12 @@
 //! `--read-cache off` routes reads through the write-command queue
 //! (the serialize-everything baseline) instead of the published
 //! snapshot — kept for A/B measurement, not production use.
+//! `--frontend` selects the connection-serving machinery: `threads`
+//! (one blocking thread per connection, portable) or `reactor` (a fixed
+//! pool of epoll event-loop threads; linux only, and the default
+//! there). `--max-conns` caps accepted connections — excess clients get
+//! one `busy` reply and a close. `--reactor-threads` sizes the reactor
+//! pool (0 = auto).
 
 use dsp_core::config::Params;
 use dsp_service::{build_cluster, build_policy, build_scheduler, serve, AdmissionConfig};
@@ -27,7 +34,8 @@ fn usage() -> ! {
         "usage: dspd [--addr HOST:PORT] [--cluster ec2|palmetto|uniform:N:RATE:SLOTS] \
          [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none] \
          [--period SECS] [--epoch SECS] [--time-scale F] [--max-pending TASKS] \
-         [--no-feasibility] [--read-cache on|off]"
+         [--no-feasibility] [--read-cache on|off] [--frontend threads|reactor] \
+         [--max-conns N] [--reactor-threads N]"
     );
     std::process::exit(2)
 }
@@ -42,6 +50,9 @@ fn main() {
     let mut time_scale = 600.0_f64;
     let mut admission = AdmissionConfig::default();
     let mut read_cache = true;
+    let mut frontend = dsp_service::Frontend::platform_default();
+    let mut max_conns = 0usize;
+    let mut reactor_threads = 0usize;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -85,6 +96,15 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--frontend" => {
+                frontend = dsp_service::Frontend::parse(&next(&mut i)).unwrap_or_else(|| usage());
+            }
+            "--max-conns" => {
+                max_conns = next(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--reactor-threads" => {
+                reactor_threads = next(&mut i).parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
         i += 1;
@@ -108,17 +128,21 @@ fn main() {
         time_scale,
         tick: Duration::from_millis(10),
         read_cache,
+        frontend,
+        max_conns,
+        reactor_threads,
         ..Default::default()
     };
     let handle = match serve(driver, config) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("dspd: failed to bind: {e}");
+            eprintln!("dspd: failed to start: {e}");
             std::process::exit(1);
         }
     };
     // The smoke script and client tooling scrape this line for the port.
     println!("dspd listening on {}", handle.addr);
+    println!("dspd frontend: {}", frontend.name());
     let _ = std::io::stdout().flush();
     handle.wait();
     println!("dspd drained; exiting");

@@ -472,6 +472,119 @@ impl Snapshot {
     }
 }
 
+// ------------------------------------------------------------------- framing
+//
+// The wire protocol is newline-delimited JSON. Both front ends (the
+// thread-per-connection loop and the epoll reactor, DESIGN.md §10.6)
+// feed raw reads through this one state machine so frame semantics —
+// splitting, pipelining, the oversize limit — are byte-identical
+// whichever serves the socket.
+
+/// Default per-frame byte limit (1 MiB). A 100-job submit batch is
+/// ~100 KiB, so this is an order of magnitude of headroom; anything
+/// larger is a protocol violation, not a workload.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// A framing violation. Both front ends map this to a `bad_request`
+/// protocol error and close the connection: once framing is lost there
+/// is no way to resynchronize the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A frame (terminated or still accumulating) exceeded the limit.
+    /// Rejecting the *incomplete* prefix is what bounds memory: a peer
+    /// that never sends `\n` cannot grow the buffer past `limit`.
+    Oversized {
+        /// Bytes seen so far for the offending frame.
+        size: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The frame is not valid UTF-8 (the protocol is JSON text).
+    Utf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { size, limit } => {
+                write!(f, "frame of {size}+ bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::Utf8 => write!(f, "frame is not valid UTF-8"),
+        }
+    }
+}
+
+/// Accumulates raw socket reads and yields complete newline-terminated
+/// frames. Handles frames split at arbitrary byte boundaries, multiple
+/// pipelined frames per read, and enforces [`FrameError::Oversized`] on
+/// unbounded unterminated input.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix: bytes before this offset were already returned.
+    start: usize,
+    /// Newline scan resumes here (absolute offset) so repeated
+    /// `next_frame` calls over one long partial frame stay linear.
+    scanned: usize,
+    max_frame: usize,
+}
+
+impl FrameBuffer {
+    /// A buffer enforcing `max_frame` bytes per frame (0 = default).
+    pub fn new(max_frame: usize) -> FrameBuffer {
+        let limit = if max_frame == 0 { DEFAULT_MAX_FRAME } else { max_frame };
+        FrameBuffer { buf: Vec::new(), start: 0, scanned: 0, max_frame: limit }
+    }
+
+    /// Append one raw read.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact the consumed prefix before growing: keeps the buffer
+        // bounded by max_frame + one read regardless of frame count.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pop the next complete frame (without its `\n`), `Ok(None)` if
+    /// more bytes are needed, or a [`FrameError`] once the stream is
+    /// unrecoverable.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        let unscanned = self.buf.get(self.scanned..).unwrap_or_default();
+        match unscanned.iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let end = self.scanned + off;
+                let frame = self.buf.get(self.start..end).unwrap_or_default();
+                if frame.len() > self.max_frame {
+                    return Err(FrameError::Oversized { size: frame.len(), limit: self.max_frame });
+                }
+                let text = match std::str::from_utf8(frame) {
+                    Ok(s) => s.to_string(),
+                    Err(_) => return Err(FrameError::Utf8),
+                };
+                self.start = end + 1;
+                self.scanned = self.start;
+                Ok(Some(text))
+            }
+            None => {
+                self.scanned = self.buf.len();
+                let pending = self.pending();
+                if pending > self.max_frame {
+                    return Err(FrameError::Oversized { size: pending, limit: self.max_frame });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,5 +680,58 @@ mod tests {
         assert_eq!(back.schedule, snap.schedule);
         assert_eq!(back.history, snap.history);
         assert!(back.verify().passes());
+    }
+
+    #[test]
+    fn frames_reassemble_across_split_reads() {
+        let mut fb = FrameBuffer::new(64);
+        fb.push(b"{\"op\":");
+        assert_eq!(fb.next_frame(), Ok(None));
+        fb.push(b"\"ping\"}\n{\"op\":\"met");
+        assert_eq!(fb.next_frame(), Ok(Some("{\"op\":\"ping\"}".to_string())));
+        assert_eq!(fb.next_frame(), Ok(None));
+        fb.push(b"rics\"}\n");
+        assert_eq!(fb.next_frame(), Ok(Some("{\"op\":\"metrics\"}".to_string())));
+        assert_eq!(fb.next_frame(), Ok(None));
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn pipelined_frames_pop_in_order() {
+        let mut fb = FrameBuffer::new(64);
+        fb.push(b"a\nbb\n\nccc\n");
+        assert_eq!(fb.next_frame(), Ok(Some("a".to_string())));
+        assert_eq!(fb.next_frame(), Ok(Some("bb".to_string())));
+        assert_eq!(fb.next_frame(), Ok(Some(String::new())));
+        assert_eq!(fb.next_frame(), Ok(Some("ccc".to_string())));
+        assert_eq!(fb.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn unterminated_overflow_is_rejected_before_a_newline_arrives() {
+        let mut fb = FrameBuffer::new(8);
+        fb.push(b"123456789");
+        assert_eq!(fb.next_frame(), Err(FrameError::Oversized { size: 9, limit: 8 }));
+    }
+
+    #[test]
+    fn oversized_complete_frame_is_rejected() {
+        let mut fb = FrameBuffer::new(4);
+        fb.push(b"ok\ntoolong\n");
+        assert_eq!(fb.next_frame(), Ok(Some("ok".to_string())));
+        assert_eq!(fb.next_frame(), Err(FrameError::Oversized { size: 7, limit: 4 }));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_frame_error() {
+        let mut fb = FrameBuffer::new(16);
+        fb.push(&[0xff, 0xfe, b'\n']);
+        assert_eq!(fb.next_frame(), Err(FrameError::Utf8));
+    }
+
+    #[test]
+    fn zero_limit_selects_the_default() {
+        let fb = FrameBuffer::new(0);
+        assert_eq!(fb.max_frame, DEFAULT_MAX_FRAME);
     }
 }

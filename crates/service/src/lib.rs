@@ -21,7 +21,11 @@
 //!   are answered from it without ever touching the driver;
 //! * [`server`] — `std::net` TCP front end (`dspd`): a bounded command
 //!   queue feeding the single driver-owner thread (the write lane), the
-//!   wall-clock ticker, and a minimal blocking [`server::Client`];
+//!   wall-clock ticker, and a minimal blocking [`server::Client`]. Two
+//!   front ends serve connections against those lanes: a portable
+//!   thread-per-connection accept loop, and (linux) the `reactor` — a
+//!   fixed pool of epoll event-loop threads that holds 10k+ sockets
+//!   with a thread count independent of connection count;
 //! * [`json`] / [`codec`] — a dependency-free JSON kernel and the
 //!   versioned artifact format (`format_version` stamps) shared with the
 //!   `dsp` CLI's dump/verify paths.
@@ -32,6 +36,8 @@ pub mod admission;
 pub mod codec;
 pub mod driver;
 pub mod json;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
 pub mod state;
 pub mod wire;
@@ -39,7 +45,7 @@ pub mod wire;
 pub use admission::{AdmissionConfig, AdmitError};
 pub use codec::{Snapshot, FORMAT_VERSION};
 pub use driver::{JobRequest, JobStatus, OnlineDriver};
-pub use server::{serve, Client, ServerConfig, ServerHandle};
+pub use server::{serve, Client, Frontend, ServerConfig, ServerHandle};
 pub use state::{SnapshotCell, StateSnapshot};
 
 use dsp_core::config::Params;

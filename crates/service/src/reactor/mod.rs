@@ -1,0 +1,33 @@
+//! The epoll reactor front end (linux only; DESIGN.md §10.6).
+//!
+//! A small **fixed** pool of event-loop threads serves every
+//! connection; thread count is independent of connection count, which
+//! is what lets one `dspd` hold 10k+ sockets. Each thread owns an epoll
+//! instance ([`poller::ThreadPoller`]), a slab of connections
+//! ([`conn::Conn`]), and a cross-thread hub (reply inbox + accepted-
+//! connection handoff queue + waker). Thread 0 additionally owns the
+//! listener and deals accepted sockets round-robin across the pool.
+//!
+//! The two request lanes are unchanged from DESIGN.md §10.5:
+//!
+//! * reads (`ping`/`status`/`metrics`/`snapshot`) are answered **inline
+//!   on the reactor thread** from the published [`crate::SnapshotCell`]
+//!   — no hop, no lock shared with the driver;
+//! * writes (`submit`/`drain`) go through the same bounded command
+//!   queue as the threads front end, with a [`frontend::ReplyHandle`]
+//!   instead of a blocked thread: the driver-owner pushes the response
+//!   into the owning reactor thread's inbox and wakes it. A full queue
+//!   parks the command on the connection for retry — a reactor thread
+//!   never blocks on the driver, so one backpressured submitter cannot
+//!   stall the other connections on its thread.
+//!
+//! Framing, routing, and reply serialization are the same code both
+//! front ends call ([`crate::codec::FrameBuffer`],
+//! [`crate::server::route_line`]), so reply bytes and reason tokens are
+//! identical whichever front end serves the socket.
+
+mod conn;
+mod frontend;
+mod poller;
+
+pub(crate) use frontend::{spawn, ReplyHandle};

@@ -1,5 +1,5 @@
-//! The TCP front end: accept loop, per-connection threads, and the clock
-//! that maps wall time onto simulation time.
+//! The TCP front end: connection serving, and the clock that maps wall
+//! time onto simulation time.
 //!
 //! Concurrency model (DESIGN.md §10.5): the request path is split into
 //! two lanes.
@@ -19,6 +19,22 @@
 //!   — so a drain running the simulation dry or a fat submit cannot
 //!   stall a monitoring client. Staleness is bounded by one mutation.
 //!
+//! Two **front ends** serve connections against those lanes
+//! (DESIGN.md §10.6), selected by [`ServerConfig::frontend`]:
+//!
+//! * [`Frontend::Threads`] — one blocking handler thread per
+//!   connection. Portable, simple, and fine up to a few hundred
+//!   sockets.
+//! * [`Frontend::Reactor`] — a small fixed pool of epoll event-loop
+//!   threads (linux only; the platform default there). Reads are
+//!   answered inline on the reactor thread; writes funnel into the same
+//!   command queue with replies delivered back through a per-thread
+//!   inbox. Thread count is independent of connection count.
+//!
+//! Both front ends share [`route_line`] and the [`FrameBuffer`] framing
+//! state machine, so reply bytes and reason tokens are identical
+//! whichever serves the socket.
+//!
 //! `ServerConfig::read_cache` is the A/B off-switch: with it off, reads
 //! are routed through the command queue too, restoring the old
 //! serialize-everything behavior (`dsp bench --service` measures the
@@ -30,17 +46,55 @@
 //! say, 600 crosses a scheduling period every half wall-second while
 //! keeping event order identical to an offline run at the same instants.
 
-use crate::codec::Snapshot;
+use crate::codec::{FrameBuffer, Snapshot};
 use crate::driver::OnlineDriver;
 use crate::state::{SnapshotCell, StateSnapshot};
 use crate::wire;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which connection-serving machinery fronts the two request lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// One blocking handler thread per connection (portable default).
+    Threads,
+    /// Fixed pool of epoll event-loop threads (linux only).
+    Reactor,
+}
+
+impl Frontend {
+    /// The default for this build target: `reactor` on linux, `threads`
+    /// everywhere else.
+    pub fn platform_default() -> Frontend {
+        if cfg!(target_os = "linux") {
+            Frontend::Reactor
+        } else {
+            Frontend::Threads
+        }
+    }
+
+    /// Parse a `--frontend` CLI value.
+    pub fn parse(s: &str) -> Option<Frontend> {
+        match s {
+            "threads" => Some(Frontend::Threads),
+            "reactor" => Some(Frontend::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The CLI name (`threads` / `reactor`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Frontend::Threads => "threads",
+            Frontend::Reactor => "reactor",
+        }
+    }
+}
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -58,6 +112,15 @@ pub struct ServerConfig {
     pub read_cache: bool,
     /// Bound on queued write commands; a full queue blocks the sender.
     pub queue_depth: usize,
+    /// Connection-serving front end (see [`Frontend`]).
+    pub frontend: Frontend,
+    /// Accepted-connection cap; excess connections are shed with a
+    /// `busy` reason token. 0 = unlimited.
+    pub max_conns: usize,
+    /// Reactor pool size; 0 = auto (min(available cores, 4)).
+    pub reactor_threads: usize,
+    /// Per-frame byte limit; 0 = [`crate::codec::DEFAULT_MAX_FRAME`].
+    pub max_frame: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,20 +131,58 @@ impl Default for ServerConfig {
             tick: Duration::from_millis(10),
             read_cache: true,
             queue_depth: 128,
+            frontend: Frontend::platform_default(),
+            max_conns: 0,
+            reactor_threads: 0,
+            max_frame: 0,
         }
     }
 }
 
 /// One unit of work for the driver-owner thread.
-enum Command {
-    /// A client mutation; the response goes back on the reply channel.
-    Write(wire::WriteRequest, SyncSender<wire::Response>),
+pub(crate) enum Command {
+    /// A client mutation; the response goes back through the sink.
+    Write(wire::WriteRequest, ReplySink),
     /// A client read in `read_cache: false` mode: answered from the
     /// published snapshot, but only after every earlier command — the
     /// old mutex-convoy behavior, preserved for A/B benchmarks.
-    ReadThrough(wire::ReadRequest, SyncSender<wire::Response>),
+    ReadThrough(wire::ReadRequest, ReplySink),
     /// The ticker mapping wall time onto simulation time.
     Tick(dsp_units::Time),
+}
+
+impl Command {
+    /// Attach a reply sink to a routed queue request.
+    pub(crate) fn new(request: QueuedRequest, reply: ReplySink) -> Command {
+        match request {
+            QueuedRequest::Write(w) => Command::Write(w, reply),
+            QueuedRequest::Read(r) => Command::ReadThrough(r, reply),
+        }
+    }
+}
+
+/// Where the driver-owner thread sends a command's response.
+pub(crate) enum ReplySink {
+    /// A blocked connection-handler thread (threads front end).
+    Blocking(SyncSender<wire::Response>),
+    /// A reactor thread's inbox (the connection is identified by the
+    /// handle's token; delivery wakes the event loop).
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReplyHandle),
+}
+
+impl ReplySink {
+    /// Deliver the response. Infallible: a vanished recipient (client
+    /// hung up mid-call) must never kill the driver-owner thread.
+    pub(crate) fn deliver(self, response: wire::Response) {
+        match self {
+            ReplySink::Blocking(tx) => {
+                let _ = tx.send(response);
+            }
+            #[cfg(target_os = "linux")]
+            ReplySink::Reactor(handle) => handle.deliver(response),
+        }
+    }
 }
 
 /// A running service instance.
@@ -89,7 +190,7 @@ pub struct ServerHandle {
     /// The actually-bound address (resolves ephemeral ports).
     pub addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    frontend_threads: Vec<JoinHandle<()>>,
     ticker_thread: Option<JoinHandle<()>>,
     owner_thread: Option<JoinHandle<()>>,
 }
@@ -97,22 +198,22 @@ pub struct ServerHandle {
 /// What every connection handler can see: the command queue, the read
 /// cache, and the stop flag. Deliberately **not** the driver — only the
 /// owner thread holds that.
-struct Shared {
-    commands: SyncSender<Command>,
-    reads: Arc<SnapshotCell>,
-    read_cache: bool,
+pub(crate) struct Shared {
+    pub(crate) commands: SyncSender<Command>,
+    pub(crate) reads: Arc<SnapshotCell>,
+    pub(crate) read_cache: bool,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         // ordering: SeqCst — a plain shutdown latch, never paired with other
         // data; flipped once, read in accept/handler loops. Not hot enough
         // to justify reasoning about a weaker ordering.
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    fn stop(&self) {
+    pub(crate) fn stop(&self) {
         // ordering: SeqCst — see `stopping`; the store publishes nothing
         // beyond the flag itself.
         self.shutdown.store(true, Ordering::SeqCst);
@@ -120,21 +221,81 @@ impl Shared {
 
     /// Send one command and wait for its reply. Errors (owner gone mid-
     /// shutdown) surface as a `draining` refusal rather than a hang.
-    fn roundtrip(
-        &self,
-        make: impl FnOnce(SyncSender<wire::Response>) -> Command,
-    ) -> wire::Response {
+    fn roundtrip(&self, request: QueuedRequest) -> wire::Response {
         let (reply_tx, reply_rx) = sync_channel(1);
-        if self.commands.send(make(reply_tx)).is_ok() {
+        if self.commands.send(Command::new(request, ReplySink::Blocking(reply_tx))).is_ok() {
             if let Ok(response) = reply_rx.recv() {
                 return response;
             }
         }
-        wire::Response {
-            body: wire::error_response("draining", "service is shutting down"),
-            shutdown: false,
-        }
+        draining_response()
     }
+}
+
+/// The refusal handed out when the driver-owner thread is already gone.
+pub(crate) fn draining_response() -> wire::Response {
+    wire::Response {
+        body: wire::error_response("draining", "service is shutting down"),
+        shutdown: false,
+    }
+}
+
+/// A routed request that must go through the command queue.
+pub(crate) enum QueuedRequest {
+    Write(wire::WriteRequest),
+    Read(wire::ReadRequest),
+}
+
+/// The outcome of routing one request line.
+pub(crate) enum Routed {
+    /// Answered without touching the driver: a cached read or a parse
+    /// failure. Never carries `shutdown`.
+    Immediate(wire::Response),
+    /// Must be serialized through the driver-owner thread.
+    Queue(QueuedRequest),
+}
+
+/// Route one request line against the two lanes. This is the single
+/// routing point shared by both front ends — reply bytes and reason
+/// tokens cannot diverge between them because they both come from here.
+pub(crate) fn route_line(line: &str, shared: &Shared) -> Routed {
+    match wire::parse_request(line) {
+        // The read lane: answered from the published snapshot alone.
+        // This arm has no path to the driver — `handle_read` only
+        // accepts the immutable view.
+        Ok(wire::Request::Read(request)) if shared.read_cache => {
+            Routed::Immediate(wire::handle_read(&shared.reads.load(), request))
+        }
+        // A/B baseline: reads serialized behind the write queue.
+        Ok(wire::Request::Read(request)) => Routed::Queue(QueuedRequest::Read(request)),
+        Ok(wire::Request::Write(request)) => Routed::Queue(QueuedRequest::Write(request)),
+        Err(msg) => Routed::Immediate(wire::Response {
+            body: wire::error_response("bad_request", &msg),
+            shutdown: false,
+        }),
+    }
+}
+
+/// Serialize a response for the wire: one line, newline-terminated.
+pub(crate) fn response_bytes(response: &wire::Response) -> Vec<u8> {
+    let mut text = response.body.to_string();
+    text.push('\n');
+    text.into_bytes()
+}
+
+/// Best-effort `busy` shed for a connection over [`ServerConfig::max_conns`]:
+/// one reply line, then close. The write is a single attempt — a peer
+/// that can't take one line immediately just sees the close.
+pub(crate) fn shed_busy(stream: &mut TcpStream, max_conns: usize) {
+    let _ = stream.set_nonblocking(true);
+    let response = wire::Response {
+        body: wire::error_response(
+            "busy",
+            &format!("connection limit ({max_conns}) reached; retry later"),
+        ),
+        shutdown: false,
+    };
+    let _ = stream.write(&response_bytes(&response));
 }
 
 /// Publishes [`StateSnapshot`]s into the cell after driver mutations,
@@ -160,7 +321,7 @@ impl Publisher {
 }
 
 /// Boot the service: bind, start the driver-owner thread and the clock,
-/// start accepting.
+/// start the selected front end.
 pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -178,6 +339,22 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
         read_cache: config.read_cache,
         shutdown: AtomicBool::new(false),
     });
+
+    // The front end boots before the driver-owner thread so a bad
+    // configuration (reactor off-linux) fails `serve` without leaking a
+    // running owner.
+    let frontend_threads = match config.frontend {
+        Frontend::Threads => vec![spawn_threads_frontend(listener, Arc::clone(&shared), &config)],
+        #[cfg(target_os = "linux")]
+        Frontend::Reactor => crate::reactor::spawn(listener, Arc::clone(&shared), &config)?,
+        #[cfg(not(target_os = "linux"))]
+        Frontend::Reactor => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the reactor front end requires linux (epoll); use --frontend threads",
+            ));
+        }
+    };
 
     let owner_thread = {
         let shared = Arc::clone(&shared);
@@ -204,35 +381,91 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
         })
     };
 
-    let accept_thread = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || {
-            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-            while !shared.stopping() {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let shared = Arc::clone(&shared);
-                        handlers.push(std::thread::spawn(move || handle_client(stream, &shared)));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
-            for h in handlers {
-                let _ = h.join();
-            }
-        })
-    };
-
     Ok(ServerHandle {
         addr,
         shared,
-        accept_thread: Some(accept_thread),
+        frontend_threads,
         ticker_thread: Some(ticker_thread),
         owner_thread: Some(owner_thread),
     })
+}
+
+/// The thread-per-connection front end: a nonblocking accept loop that
+/// spawns one handler thread per socket.
+///
+/// Failure handling: `WouldBlock` is the idle path (short fixed sleep);
+/// every other accept error — `EMFILE`/`ENFILE` when the fd table is
+/// full, `ECONNABORTED`, transient `ENOBUFS`… — backs off with a
+/// bounded, doubling sleep instead of hot-spinning or silently killing
+/// the accept loop. The loop only exits on the shutdown flag.
+fn spawn_threads_frontend(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: &ServerConfig,
+) -> JoinHandle<()> {
+    const IDLE_SLEEP: Duration = Duration::from_millis(5);
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(10);
+    const BACKOFF_CEIL: Duration = Duration::from_millis(500);
+    let max_conns = config.max_conns;
+    let max_frame = config.max_frame;
+    std::thread::spawn(move || {
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        let mut backoff = BACKOFF_FLOOR;
+        while !shared.stopping() {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    backoff = BACKOFF_FLOOR;
+                    // ordering: Relaxed — the counter only gates admission;
+                    // it publishes no data and an off-by-one race just sheds
+                    // (or admits) one borderline connection.
+                    if max_conns > 0 && active.load(Ordering::Relaxed) >= max_conns {
+                        shed_busy(&mut stream, max_conns);
+                        continue;
+                    }
+                    // Reap finished handlers so the vec stays bounded by the
+                    // live-connection count (dropping a JoinHandle detaches).
+                    handlers.retain(|h| !h.is_finished());
+                    let ticket = ConnTicket::issue(&active);
+                    let shared = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_client(stream, &shared, max_frame);
+                        drop(ticket);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(IDLE_SLEEP);
+                }
+                Err(_) => {
+                    // fd exhaustion or a transient kernel refusal: give
+                    // handlers time to release resources, then try again.
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_CEIL);
+                }
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    })
+}
+
+/// RAII decrement for the threads front end's live-connection counter.
+struct ConnTicket(Arc<AtomicUsize>);
+
+impl ConnTicket {
+    fn issue(counter: &Arc<AtomicUsize>) -> ConnTicket {
+        // ordering: Relaxed — admission gate only; see the accept loop.
+        counter.fetch_add(1, Ordering::Relaxed);
+        ConnTicket(Arc::clone(counter))
+    }
+}
+
+impl Drop for ConnTicket {
+    fn drop(&mut self) {
+        // ordering: Relaxed — admission gate only; see the accept loop.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// The driver-owner loop: the only code that ever touches the
@@ -270,21 +503,21 @@ fn drive(
                     wire::handle_write(&mut driver, request, &mut |d| publisher.publish(d));
                 publisher.publish(&driver);
                 let shutdown = response.shutdown;
-                // A dropped reply channel (client hung up mid-call) must
+                // A vanished recipient (client hung up mid-call) must
                 // not kill the service.
-                let _ = reply.send(response);
+                reply.deliver(response);
                 if shutdown {
                     shared.stop();
                 }
             }
             Command::ReadThrough(request, reply) => {
-                let _ = reply.send(wire::handle_read(&publisher.cell.load(), request));
+                reply.deliver(wire::handle_read(&publisher.cell.load(), request));
             }
         }
     }
 }
 
-fn handle_client(stream: TcpStream, shared: &Shared) {
+fn handle_client(stream: TcpStream, shared: &Shared, max_frame: usize) {
     // Connection I/O errors just drop the client; the service lives on.
     // The read timeout keeps idle connections from pinning the shutdown
     // join: the loop wakes periodically to check the stop flag.
@@ -294,14 +527,17 @@ fn handle_client(stream: TcpStream, shared: &Shared) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut buf = String::new();
-    loop {
-        // `read_line` appends what it managed to read before a timeout, so
-        // `buf` accumulates across retries and is only cleared per line.
-        match reader.read_line(&mut buf) {
+    let mut reader = stream;
+    let mut frames = FrameBuffer::new(max_frame);
+    let mut chunk = [0u8; 8192];
+    'conn: loop {
+        match reader.read(&mut chunk) {
             Ok(0) => break,
-            Ok(_) => {}
+            Ok(n) => {
+                if let Some(bytes) = chunk.get(..n) {
+                    frames.push(bytes);
+                }
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -313,35 +549,33 @@ fn handle_client(stream: TcpStream, shared: &Shared) {
             }
             Err(_) => break,
         }
-        let line = std::mem::take(&mut buf);
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match wire::parse_request(&line) {
-            // The read lane: answered from the published snapshot alone.
-            // This arm has no path to the driver — `handle_read` only
-            // accepts the immutable view.
-            Ok(wire::Request::Read(request)) if shared.read_cache => {
-                wire::handle_read(&shared.reads.load(), request)
+        loop {
+            let line = match frames.next_frame() {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is unrecoverable: reply once, then close.
+                    let response = wire::Response {
+                        body: wire::error_response("bad_request", &e.to_string()),
+                        shutdown: false,
+                    };
+                    let _ = writer.write_all(&response_bytes(&response));
+                    break 'conn;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
             }
-            // A/B baseline: reads serialized behind the write queue.
-            Ok(wire::Request::Read(request)) => {
-                shared.roundtrip(|reply| Command::ReadThrough(request, reply))
+            let response = match route_line(&line, shared) {
+                Routed::Immediate(response) => response,
+                Routed::Queue(request) => shared.roundtrip(request),
+            };
+            if writer.write_all(&response_bytes(&response)).is_err() || writer.flush().is_err() {
+                break 'conn;
             }
-            Ok(wire::Request::Write(request)) => {
-                shared.roundtrip(|reply| Command::Write(request, reply))
+            if response.shutdown {
+                break 'conn;
             }
-            Err(msg) => {
-                wire::Response { body: wire::error_response("bad_request", &msg), shutdown: false }
-            }
-        };
-        let mut text = response.body.to_string();
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if response.shutdown {
-            break;
         }
     }
 }
@@ -364,7 +598,7 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
-        if let Some(h) = self.accept_thread.take() {
+        for h in self.frontend_threads.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.ticker_thread.take() {
@@ -375,7 +609,7 @@ impl ServerHandle {
         }
     }
 
-    /// Block until the accept loop, clock, and driver-owner exit (after
+    /// Block until the front end, clock, and driver-owner exit (after
     /// a `drain` request or [`ServerHandle::shutdown`]).
     pub fn wait(mut self) {
         self.join_all();

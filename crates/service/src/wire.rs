@@ -14,7 +14,9 @@
 //!
 //! Every response carries `"ok": bool`; failures add a stable `"reason"`
 //! token (`bad_request`, `backpressure`, `infeasible`, `invalid`,
-//! `draining`, `unknown_job`) and a human-readable `"error"` string.
+//! `draining`, `unknown_job`, `busy`) and a human-readable `"error"`
+//! string. `busy` is issued by the front end itself when the
+//! `--max-conns` cap sheds a connection, before any request is read.
 //! Read responses additionally carry `"state_version"`, the publish
 //! sequence number of the snapshot they were answered from —
 //! non-decreasing per connection.

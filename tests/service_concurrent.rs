@@ -12,7 +12,9 @@
 //!   * failure `reason` tokens come from the stable documented set.
 
 use dsp_service::json::Json;
-use dsp_service::{serve, wire, AdmissionConfig, JobRequest, OnlineDriver, ServerConfig, Snapshot};
+use dsp_service::{
+    serve, wire, AdmissionConfig, Frontend, JobRequest, OnlineDriver, ServerConfig, Snapshot,
+};
 use dsp_sim::EngineConfig;
 use dsp_units::{Dur, Time};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -98,6 +100,16 @@ fn assert_stable_reason(resp: &Json) {
 /// `draining: true`, not just the final one.
 #[test]
 fn reads_complete_while_a_hundred_job_drain_is_mid_flight() {
+    reads_complete_mid_drain(Frontend::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reads_complete_while_a_hundred_job_drain_is_mid_flight_reactor() {
+    reads_complete_mid_drain(Frontend::Reactor);
+}
+
+fn reads_complete_mid_drain(frontend: Frontend) {
     // Frozen clock: every bit of simulation happens inside the drain
     // command, so the whole drain window is observable. A 20 s period
     // forces many boundary publishes while the engine runs dry.
@@ -107,6 +119,7 @@ fn reads_complete_while_a_hundred_job_drain_is_mid_flight() {
             addr: "127.0.0.1:0".into(),
             time_scale: 0.0,
             tick: std::time::Duration::from_millis(20),
+            frontend,
             ..Default::default()
         },
     )
@@ -180,6 +193,16 @@ fn reads_complete_while_a_hundred_job_drain_is_mid_flight() {
 /// sheds with the stable `backpressure` token.
 #[test]
 fn writers_and_readers_race_without_torn_reads() {
+    writers_and_readers_race(Frontend::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn writers_and_readers_race_without_torn_reads_reactor() {
+    writers_and_readers_race(Frontend::Reactor);
+}
+
+fn writers_and_readers_race(frontend: Frontend) {
     const MAX_PENDING: usize = 8; // 4 two-task batches fit, nothing more
     let handle = serve(
         driver(MAX_PENDING, 100),
@@ -187,6 +210,7 @@ fn writers_and_readers_race_without_torn_reads() {
             addr: "127.0.0.1:0".into(),
             time_scale: 0.0,
             tick: std::time::Duration::from_millis(10),
+            frontend,
             ..Default::default()
         },
     )
@@ -281,11 +305,90 @@ fn writers_and_readers_race_without_torn_reads() {
     handle.wait();
 }
 
+/// The `--max-conns` cap: connections over the limit get exactly one
+/// reply with the stable `busy` reason token and a close, and closing
+/// an admitted connection frees its slot for a newcomer.
+#[test]
+fn connections_over_max_conns_shed_with_busy() {
+    busy_shed_over_cap(Frontend::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn connections_over_max_conns_shed_with_busy_reactor() {
+    busy_shed_over_cap(Frontend::Reactor);
+}
+
+fn busy_shed_over_cap(frontend: Frontend) {
+    use std::io::BufRead;
+    let handle = serve(
+        driver(10_000, 100),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(10),
+            max_conns: 2,
+            frontend,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr.to_string();
+
+    // Fill the cap with two live connections (a round trip each proves
+    // the server has admitted them, not merely queued the accept).
+    let mut a = dsp_service::Client::connect(&addr).expect("connect");
+    let mut b = dsp_service::Client::connect(&addr).expect("connect");
+    assert_eq!(a.call(&op("ping")).expect("ping").get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(b.call(&op("ping")).expect("ping").get("ok"), Some(&Json::Bool(true)));
+
+    // The third connection is shed: one `busy` line, then close. No
+    // request is sent — the shed happens at accept.
+    let third = std::net::TcpStream::connect(&addr).expect("connect");
+    third.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("timeout");
+    let mut line = String::new();
+    std::io::BufReader::new(third).read_line(&mut line).expect("busy line");
+    let resp = dsp_service::json::parse(&line).expect("busy line is JSON");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+    assert_eq!(resp.get("reason").and_then(Json::as_str), Some("busy"), "{resp}");
+
+    // Release one slot; a newcomer must eventually be admitted (the
+    // count drops when the server notices the close, so poll).
+    drop(a);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "freed slot never re-admitted");
+        if let Ok(mut c) = dsp_service::Client::connect(&addr) {
+            if let Ok(r) = c.call(&op("ping")) {
+                if r.get("ok") == Some(&Json::Bool(true)) {
+                    break;
+                }
+                assert_eq!(r.get("reason").and_then(Json::as_str), Some("busy"), "{r}");
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let resp = b.call(&op("drain")).expect("drain");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    handle.wait();
+}
+
 /// The `--read-cache off` A/B leg: with reads routed through the write
 /// queue the protocol still behaves identically — same verbs, same
 /// tokens, same final snapshot — only the latency model changes.
 #[test]
 fn read_through_mode_serves_the_same_protocol() {
+    read_through_mode(Frontend::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn read_through_mode_serves_the_same_protocol_reactor() {
+    read_through_mode(Frontend::Reactor);
+}
+
+fn read_through_mode(frontend: Frontend) {
     let handle = serve(
         driver(10_000, 100),
         ServerConfig {
@@ -293,6 +396,7 @@ fn read_through_mode_serves_the_same_protocol() {
             time_scale: 0.0,
             tick: std::time::Duration::from_millis(10),
             read_cache: false,
+            frontend,
             ..Default::default()
         },
     )

@@ -6,8 +6,8 @@
 
 use dsp_service::json::Json;
 use dsp_service::{
-    codec, serve, wire, AdmissionConfig, Client, JobRequest, JobStatus, OnlineDriver, ServerConfig,
-    Snapshot,
+    codec, serve, wire, AdmissionConfig, Client, Frontend, JobRequest, JobStatus, OnlineDriver,
+    ServerConfig, Snapshot,
 };
 use dsp_sim::EngineConfig;
 use dsp_units::{Dur, Time};
@@ -126,6 +126,16 @@ fn call_ok(client: &mut Client, req: &Json) -> Json {
 
 #[test]
 fn tcp_session_submits_polls_and_drains_verified() {
+    tcp_session_submits_polls_and_drains(Frontend::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn tcp_session_submits_polls_and_drains_verified_reactor() {
+    tcp_session_submits_polls_and_drains(Frontend::Reactor);
+}
+
+fn tcp_session_submits_polls_and_drains(frontend: Frontend) {
     // 2000 simulated seconds per wall second: a 100 s scheduling period
     // fires every ~50 ms of wall time.
     let driver = small_driver(10_000);
@@ -135,6 +145,7 @@ fn tcp_session_submits_polls_and_drains_verified() {
             addr: "127.0.0.1:0".into(),
             time_scale: 2000.0,
             tick: std::time::Duration::from_millis(5),
+            frontend,
             ..Default::default()
         },
     )
@@ -186,6 +197,16 @@ fn tcp_session_submits_polls_and_drains_verified() {
 
 #[test]
 fn tcp_rejections_carry_stable_reason_tokens() {
+    tcp_rejections_carry_stable_tokens(Frontend::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn tcp_rejections_carry_stable_reason_tokens_reactor() {
+    tcp_rejections_carry_stable_tokens(Frontend::Reactor);
+}
+
+fn tcp_rejections_carry_stable_tokens(frontend: Frontend) {
     let driver = small_driver(4);
     let handle = serve(
         driver,
@@ -195,6 +216,7 @@ fn tcp_rejections_carry_stable_reason_tokens() {
             // between the two submissions.
             time_scale: 0.0,
             tick: std::time::Duration::from_millis(50),
+            frontend,
             ..Default::default()
         },
     )
