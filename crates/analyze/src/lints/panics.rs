@@ -14,14 +14,20 @@ use crate::report::Finding;
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// P1 — `unwrap`/`expect`, panicking macros, and slice-index expressions in
-/// the service front end — `crates/service/src/server.rs` and every file
-/// under `crates/service/src/reactor/` (outside tests). Request handlers
+/// the service front end — `crates/service/src/server.rs`, the federation
+/// layer (`router.rs`, `shard.rs`), and every file under
+/// `crates/service/src/reactor/` (outside tests). Request handlers
 /// must return protocol errors with stable reason tokens, never unwind;
 /// for a reactor thread the stakes are higher still, since one panic
 /// tears down every connection that thread owns, not just the caller's.
+/// The router and shard owners sit even deeper: a panic in `plan` or the
+/// shard loop takes out one shard's whole command queue, and a panic in
+/// the coordinator kills the drain for every shard at once.
 pub fn p1_handler_panics(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
     let in_scope = ctx.file.crate_name == "service"
         && (ctx.file.basename() == "server.rs"
+            || ctx.file.basename() == "router.rs"
+            || ctx.file.basename() == "shard.rs"
             || ctx.file.rel_path.contains("service/src/reactor/"));
     if !in_scope {
         return;

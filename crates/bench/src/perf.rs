@@ -670,6 +670,114 @@ fn bench_service_c10k(opts: &BenchOptions) -> BenchResult {
 }
 
 // ---------------------------------------------------------------------------
+// Bench 8 (--service): the submit-saturation leg — federation scaling.
+// A fixed fleet of writer connections pushes pre-serialized submit batches
+// as fast as the service admits them, at 1, 2, 4, and 8 shards over the
+// same cluster and workload. The simulated clock is frozen so every byte
+// of driver-owner work in the measured window is admission — exactly the
+// single-threaded bottleneck `--shards` exists to parallelize. The drain
+// at the end exercises the two-phase federated drain and the merged
+// artifact is decoded and verified, so the speedup numbers can't come
+// from dropping or corrupting work.
+// ---------------------------------------------------------------------------
+
+fn bench_service_submit(opts: &BenchOptions, shards: usize) -> BenchResult {
+    use std::sync::Mutex;
+    const WRITERS: usize = 8;
+    let (n_lines, batch) = if opts.quick { (96, 5) } else { (400, 6) };
+    let jobs = bench_workload(n_lines * batch, 0.02);
+    let requests: Vec<JobRequest> = jobs.iter().map(JobRequest::from_job).collect();
+    let lines: Vec<String> = requests
+        .chunks(batch)
+        .map(|chunk| dsp_service::wire::submit_request(chunk).to_string())
+        .collect();
+    let params = Params::default();
+    let spec = dsp_service::FederationSpec {
+        cluster: uniform(16, 1000.0, 2),
+        engine: params.engine_config(),
+        sched_period: params.sched_period,
+        admission: AdmissionConfig { max_pending_tasks: 10_000_000, check_feasibility: false },
+        // Cheap offline phase: the drain is integrity validation, not the
+        // measured region, so it should not dominate the harness.
+        scheduler: Box::new(|| dsp_service::build_scheduler("fifo").expect("known scheduler")),
+        policy: Box::new(move || dsp_service::build_policy("none", &params).expect("known policy")),
+    };
+    let handle = dsp_service::serve_federated(
+        spec,
+        dsp_service::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            // Frozen clock: owner threads do admission and nothing else
+            // during the measured window.
+            time_scale: 0.0,
+            tick: std::time::Duration::from_millis(5),
+            frontend: dsp_service::Frontend::Threads,
+            shards,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr.to_string();
+
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(lines.len()));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let addr = &addr;
+            let lines = &lines;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut client = dsp_service::Client::connect(addr).expect("writer connect");
+                let mut local = Vec::with_capacity(lines.len() / WRITERS + 1);
+                for line in lines.iter().skip(w).step_by(WRITERS) {
+                    let t = Instant::now();
+                    let resp = client.call_raw(line).expect("submit");
+                    local.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+                }
+                latencies.lock().expect("latency lock").extend(local);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut submitter = dsp_service::Client::connect(&addr).expect("connect");
+    let t_drain = Instant::now();
+    let resp =
+        submitter.call(&Json::obj(vec![("op", Json::Str("drain".into()))])).expect("drain call");
+    let drain_ms = t_drain.elapsed().as_millis() as u64;
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    let snap = resp.get("snapshot").expect("snapshot attached");
+    let decoded = dsp_service::codec::Snapshot::from_json(snap).expect("snapshot decodes");
+    assert_eq!(decoded.jobs.len(), requests.len(), "every admitted job must drain");
+    let report = decoded.verify();
+    assert!(report.passes(), "merged drain must verify: {report:?}");
+    handle.wait();
+
+    let mut latencies = latencies.into_inner().expect("latency lock");
+    latencies.sort_unstable();
+    let p50 = sorted_percentile(&latencies, 50.0);
+    let p99 = sorted_percentile(&latencies, 99.0);
+    let per_sec = (lines.len() as f64 / wall.as_secs_f64()) as u64;
+    BenchResult {
+        name: format!("service_submit_shard{shards}"),
+        // Headline = tail submit latency under saturation; the scaling
+        // story is the submits_per_sec counter across the four legs.
+        wall_ns: p99,
+        iters: lines.len() as u64,
+        counters: vec![
+            ("submits_per_sec".into(), per_sec),
+            ("submit_p50_ns".into(), p50),
+            ("submit_p99_ns".into(), p99),
+            ("submits".into(), lines.len() as u64),
+            ("jobs".into(), requests.len() as u64),
+            ("shards".into(), shards as u64),
+            ("writers".into(), WRITERS as u64),
+            ("drain_ms".into(), drain_ms),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Harness driver + JSON in/out + compare.
 // ---------------------------------------------------------------------------
 
@@ -709,6 +817,14 @@ pub fn run_all(opts: &BenchOptions) -> Vec<BenchResult> {
         #[cfg(target_os = "linux")]
         {
             let r = bench_service_c10k(opts);
+            narrate(&r);
+            out.push(r);
+        }
+        // The federation scaling ladder: the same submit storm at every
+        // shard count, so submits_per_sec across the four legs is an
+        // apples-to-apples scaling curve.
+        for shards in [1usize, 2, 4, 8] {
+            let r = bench_service_submit(opts, shards);
             narrate(&r);
             out.push(r);
         }
@@ -788,6 +904,7 @@ fn parse_bench_file(text: &str) -> Result<Vec<BenchResult>, String> {
 }
 
 /// The outcome of comparing two BENCH documents.
+#[derive(Debug)]
 pub struct CompareReport {
     /// Human-readable table lines.
     pub lines: Vec<String>,
@@ -797,6 +914,13 @@ pub struct CompareReport {
 
 /// Compare two BENCH documents (old first). `threshold_pct` is the
 /// allowed wall-time growth before a bench counts as a regression.
+///
+/// Benches present on only one side are reported line-by-line (new
+/// benches are expected as the suite grows), but if the two files share
+/// *no* bench names at all there is nothing to compare and the whole
+/// run is an error — a silently green compare of disjoint files is how
+/// a renamed metric slips past CI. The error lists the missing keys on
+/// each side so the fix is obvious.
 pub fn compare(
     old_text: &str,
     new_text: &str,
@@ -804,6 +928,20 @@ pub fn compare(
 ) -> Result<CompareReport, String> {
     let old = parse_bench_file(old_text)?;
     let new = parse_bench_file(new_text)?;
+    if !old.is_empty()
+        && !new.is_empty()
+        && !new.iter().any(|nb| old.iter().any(|ob| ob.name == nb.name))
+    {
+        let names = |side: &[BenchResult]| {
+            side.iter().map(|b| b.name.as_str()).collect::<Vec<_>>().join(", ")
+        };
+        return Err(format!(
+            "disjoint metric sets: no bench name appears in both files; \
+             missing from old: [{}]; missing from new: [{}]",
+            names(&new),
+            names(&old)
+        ));
+    }
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
     lines.push(format!(
@@ -847,10 +985,42 @@ pub fn compare(
     Ok(CompareReport { lines, regressions })
 }
 
+/// Rank a committed BENCH file name: the numeric part of its stem
+/// (`BENCH_pr7.json` -> 7); non-numeric stems (`BENCH_baseline.json`)
+/// rank lowest. Digits sort files, not lexicographic names, so `pr10`
+/// outranks `pr9`.
+fn bench_file_rank(name: &str) -> u64 {
+    let digits: String = name.chars().filter(|c| c.is_ascii_digit()).collect();
+    digits.parse().unwrap_or(0)
+}
+
+/// The newest committed `BENCH_*.json` in the current directory,
+/// excluding `exclude` (the NEW side of the compare). Used when
+/// `--compare` is given only one path.
+fn newest_committed_bench(exclude: &str) -> Option<String> {
+    let exclude = std::fs::canonicalize(exclude).ok();
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        if exclude.is_some() && std::fs::canonicalize(entry.path()).ok() == exclude {
+            continue;
+        }
+        let rank = bench_file_rank(&name);
+        if best.as_ref().is_none_or(|(r, _)| rank > *r) {
+            best = Some((rank, name));
+        }
+    }
+    best.map(|(_, n)| n)
+}
+
 fn bench_usage() -> ! {
     eprintln!(
         "usage: dsp bench [--quick] [--baseline] [--service] [--threads N] [--label NAME] [--out FILE]\n\
-         \x20      dsp bench --compare OLD.json NEW.json [--threshold PCT]"
+         \x20      dsp bench --compare [OLD.json] NEW.json [--threshold PCT]\n\
+         \x20      (OLD defaults to the newest committed BENCH_*.json when omitted)"
     );
     std::process::exit(2)
 }
@@ -859,7 +1029,7 @@ fn bench_usage() -> ! {
 pub fn bench_main(argv: &[String]) -> i32 {
     let mut opts = BenchOptions::default();
     let mut out: Option<String> = None;
-    let mut compare_files: Option<(String, String)> = None;
+    let mut compare_files: Option<(String, Option<String>)> = None;
     let mut threshold = 15.0f64;
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -876,7 +1046,15 @@ pub fn bench_main(argv: &[String]) -> i32 {
             "--out" => out = Some(next(&mut i)),
             "--compare" => {
                 let a = next(&mut i);
-                let b = next(&mut i);
+                // The second path is optional: `--compare NEW.json` pits
+                // the newest committed BENCH_*.json against NEW.
+                let b = match argv.get(i + 1) {
+                    Some(s) if !s.starts_with("--") => {
+                        i += 1;
+                        Some(s.clone())
+                    }
+                    _ => None,
+                };
                 compare_files = Some((a, b));
             }
             "--threshold" => threshold = next(&mut i).parse().unwrap_or_else(|_| bench_usage()),
@@ -886,7 +1064,23 @@ pub fn bench_main(argv: &[String]) -> i32 {
         i += 1;
     }
 
-    if let Some((old_path, new_path)) = compare_files {
+    if let Some((first, second)) = compare_files {
+        let (old_path, new_path) = match second {
+            Some(second) => (first, second),
+            None => match newest_committed_bench(&first) {
+                Some(old) => {
+                    eprintln!("dsp bench: comparing against {old} (newest committed BENCH file)");
+                    (old, first)
+                }
+                None => {
+                    eprintln!(
+                        "dsp bench: no committed BENCH_*.json found to compare {first} against; \
+                         pass OLD.json explicitly"
+                    );
+                    return 2;
+                }
+            },
+        };
         let read = |p: &str| {
             std::fs::read_to_string(p).unwrap_or_else(|e| {
                 eprintln!("dsp bench: cannot read {p}: {e}");
@@ -1001,5 +1195,44 @@ mod tests {
     fn compare_rejects_unknown_version() {
         let bad = "{\"format_version\": 999, \"benches\": []}";
         assert!(compare(bad, bad, 15.0).is_err());
+    }
+
+    #[test]
+    fn compare_disjoint_sets_fail_loudly_listing_keys() {
+        let opts = quick_opts(false);
+        let only_a =
+            vec![BenchResult { name: "alpha".into(), wall_ns: 1_000, iters: 1, counters: vec![] }];
+        let only_b =
+            vec![BenchResult { name: "beta".into(), wall_ns: 2_000, iters: 1, counters: vec![] }];
+        let err = compare(
+            &to_json(&only_a, &opts).to_string(),
+            &to_json(&only_b, &opts).to_string(),
+            15.0,
+        )
+        .expect_err("disjoint sets must not compare green");
+        assert!(err.contains("disjoint"), "{err}");
+        assert!(err.contains("alpha") && err.contains("beta"), "must list both keys: {err}");
+    }
+
+    #[test]
+    fn compare_tolerates_partial_overlap() {
+        // Suite growth (a new bench beside shared ones) stays a
+        // non-error: only fully disjoint files are refused.
+        let opts = quick_opts(false);
+        let old =
+            vec![BenchResult { name: "shared".into(), wall_ns: 1_000, iters: 1, counters: vec![] }];
+        let mut new = old.clone();
+        new.push(BenchResult { name: "grown".into(), wall_ns: 5_000, iters: 1, counters: vec![] });
+        let report =
+            compare(&to_json(&old, &opts).to_string(), &to_json(&new, &opts).to_string(), 15.0)
+                .expect("partial overlap compares");
+        assert!(report.regressions.is_empty());
+        assert!(report.lines.iter().any(|l| l.contains("new bench")), "{:?}", report.lines);
+    }
+
+    #[test]
+    fn bench_file_rank_orders_numerically() {
+        assert!(bench_file_rank("BENCH_pr10.json") > bench_file_rank("BENCH_pr9.json"));
+        assert_eq!(bench_file_rank("BENCH_baseline.json"), 0);
     }
 }

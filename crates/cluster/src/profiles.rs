@@ -61,6 +61,62 @@ impl ClusterSpec {
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.idx()]
     }
+
+    /// Partition the inventory into `shards` contiguous sub-clusters for
+    /// the federated service (DESIGN.md §10.7).
+    ///
+    /// Nodes are dealt out in index order: the first `len % shards` shards
+    /// receive `len / shards + 1` nodes, the rest `len / shards`. Every
+    /// shard's nodes are **rebased** to local ids `0..k` so each shard's
+    /// `Engine` sees a self-contained cluster; the federation layer maps
+    /// them back with the prefix-sum offsets from [`split_offsets`].
+    ///
+    /// `split(1)` returns the cluster unchanged (single clone), which is
+    /// what keeps a 1-shard federation byte-identical to the pre-federation
+    /// path. `shards` is clamped to `1..=len` — asking for more shards than
+    /// nodes yields `len` single-node shards.
+    ///
+    /// [`split_offsets`]: ClusterSpec::split_offsets
+    pub fn split(&self, shards: usize) -> Vec<ClusterSpec> {
+        let shards = shards.clamp(1, self.nodes.len().max(1));
+        if shards == 1 {
+            return vec![self.clone()];
+        }
+        let base = self.nodes.len() / shards;
+        let extra = self.nodes.len() % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut cursor = 0usize;
+        for i in 0..shards {
+            let take = base + usize::from(i < extra);
+            let mut nodes = Vec::with_capacity(take);
+            for (local, node) in self.nodes[cursor..cursor + take].iter().enumerate() {
+                let mut node = node.clone();
+                node.id = NodeId(local as u32);
+                nodes.push(node);
+            }
+            out.push(ClusterSpec { name: format!("{}/shard{i}", self.name), nodes });
+            cursor += take;
+        }
+        out
+    }
+
+    /// Global node-id offset of each shard produced by [`split`] with the
+    /// same `shards` value: `offsets[i]` added to a shard-local `NodeId`
+    /// recovers the id in the unsplit cluster.
+    ///
+    /// [`split`]: ClusterSpec::split
+    pub fn split_offsets(&self, shards: usize) -> Vec<u32> {
+        let shards = shards.clamp(1, self.nodes.len().max(1));
+        let base = self.nodes.len() / shards;
+        let extra = self.nodes.len() % shards;
+        let mut offsets = Vec::with_capacity(shards);
+        let mut cursor = 0u32;
+        for i in 0..shards {
+            offsets.push(cursor);
+            cursor += (base + usize::from(i < extra)) as u32;
+        }
+        offsets
+    }
 }
 
 fn mk_nodes(count: usize, s_cpu: f64, mem_gb: f64, cores: usize) -> Vec<Node> {
@@ -143,6 +199,40 @@ mod tests {
     fn node_lookup() {
         let c = uniform(3, 500.0, 1);
         assert_eq!(c.node(NodeId(2)).id, NodeId(2));
+    }
+
+    #[test]
+    fn split_one_is_identity() {
+        let c = ec2();
+        let parts = c.split(1);
+        assert_eq!(parts, vec![c]);
+    }
+
+    #[test]
+    fn split_rebases_ids_and_preserves_inventory() {
+        let c = palmetto(); // 50 nodes
+        let parts = c.split(4); // 13, 13, 12, 12
+        let offsets = c.split_offsets(4);
+        assert_eq!(parts.iter().map(ClusterSpec::len).collect::<Vec<_>>(), vec![13, 13, 12, 12]);
+        assert_eq!(offsets, vec![0, 13, 26, 38]);
+        for (part, off) in parts.iter().zip(&offsets) {
+            for (local, node) in part.nodes.iter().enumerate() {
+                assert_eq!(node.id, NodeId(local as u32));
+                let mut global = node.clone();
+                global.id = NodeId(local as u32 + off);
+                assert_eq!(&global, c.node(global.id));
+            }
+        }
+        assert_eq!(parts.iter().map(ClusterSpec::total_slots).sum::<usize>(), c.total_slots());
+    }
+
+    #[test]
+    fn split_clamps_to_node_count() {
+        let c = uniform(3, 500.0, 1);
+        let parts = c.split(8);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.len() == 1));
+        assert_eq!(c.split_offsets(8), vec![0, 1, 2]);
     }
 
     #[test]

@@ -163,6 +163,27 @@ impl RunMetrics {
         Dur::from_micros(waits[rank.saturating_sub(1).min(waits.len() - 1)])
     }
 
+    /// Fold another run's counters into this one — used by the federated
+    /// service to merge per-shard drain metrics into one cluster-wide view
+    /// (DESIGN.md §10.7). Counters add, the makespan window widens to cover
+    /// both runs, and job outcomes concatenate in call order (callers merge
+    /// shards in index order for determinism).
+    pub fn merge_from(&mut self, other: &RunMetrics) {
+        self.tasks_completed += other.tasks_completed;
+        self.preemptions += other.preemptions;
+        self.disorders += other.disorders;
+        self.refusals += other.refusals;
+        self.switch_overhead += other.switch_overhead;
+        self.jobs.extend(other.jobs.iter().copied());
+        self.end_time = self.end_time.max(other.end_time);
+        self.first_start = match (self.first_start, other.first_start) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.node_failures += other.node_failures;
+        self.fault_rescheduled += other.fault_rescheduled;
+    }
+
     /// Preemption *attempts*: successful evictions plus dependency-refused
     /// ones (disorders). This is the quantity comparable to the paper's
     /// Fig. 6(d) — in the authors' testbed a dependency-violating
@@ -250,6 +271,34 @@ mod tests {
         assert_eq!(m.wait_percentile(0.0), Dur::from_millis(100));
         assert_eq!(m.wait_percentile(99.0), Dur::from_millis(400));
         assert_eq!(RunMetrics::default().wait_percentile(50.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn merge_widens_window_and_sums_counters() {
+        let mut a = RunMetrics::default();
+        a.on_task_start(Time::from_secs(5));
+        a.on_task_finish(Time::from_secs(9));
+        a.on_preemption(Dur::from_millis(20));
+        a.on_job_finish(outcome(0, 9, 20, 100));
+
+        let mut b = RunMetrics::default();
+        b.on_task_start(Time::from_secs(1));
+        b.on_task_finish(Time::from_secs(6));
+        b.on_job_finish(outcome(0, 6, 4, 300));
+        b.on_node_fault(3);
+
+        a.merge_from(&b);
+        assert_eq!(a.tasks_completed, 2);
+        assert_eq!(a.preemptions, 1);
+        assert_eq!(a.makespan(), Dur::from_secs(8)); // 1s..9s
+        assert_eq!(a.jobs.len(), 2);
+        assert_eq!(a.node_failures, 1);
+        assert_eq!(a.fault_rescheduled, 3);
+        assert_eq!(a.deadline_hit_rate(), 0.5);
+
+        let mut empty = RunMetrics::default();
+        empty.merge_from(&RunMetrics::default());
+        assert_eq!(empty, RunMetrics::default());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!      [--period SECS] [--epoch SECS] [--time-scale F]
 //!      [--max-pending TASKS] [--no-feasibility] [--read-cache on|off]
 //!      [--frontend threads|reactor] [--max-conns N] [--reactor-threads N]
+//!      [--shards N] [--route hash|least-loaded|deadline]
 //! ```
 //!
 //! Binds the socket (port 0 picks an ephemeral port), prints
@@ -22,9 +23,19 @@
 //! there). `--max-conns` caps accepted connections — excess clients get
 //! one `busy` reply and a close. `--reactor-threads` sizes the reactor
 //! pool (0 = auto).
+//! `--shards N` partitions the cluster into N independent shards — each
+//! with its own engine, driver-owner thread, command queue, and snapshot
+//! cell — behind a placement router, so submit throughput scales with
+//! cores (DESIGN.md §10.7). `--route` picks the placement policy:
+//! `hash` (deterministic round-robin over batches; with the strided id
+//! lanes this is hash-by-JobId), `least-loaded`, or `deadline`
+//! (feasibility-scored against each shard's sub-cluster).
 
 use dsp_core::config::Params;
-use dsp_service::{build_cluster, build_policy, build_scheduler, serve, AdmissionConfig};
+use dsp_service::{
+    build_cluster, build_policy, build_scheduler, serve_federated, AdmissionConfig, FederationSpec,
+    RoutePolicy, MAX_SHARDS,
+};
 use dsp_units::Dur;
 use std::io::Write;
 use std::time::Duration;
@@ -35,7 +46,8 @@ fn usage() -> ! {
          [--sched dsp|fifo|tetris|tetris-wodep|aalo] [--preempt dsp|dsp-wopp|none] \
          [--period SECS] [--epoch SECS] [--time-scale F] [--max-pending TASKS] \
          [--no-feasibility] [--read-cache on|off] [--frontend threads|reactor] \
-         [--max-conns N] [--reactor-threads N]"
+         [--max-conns N] [--reactor-threads N] [--shards N] \
+         [--route hash|least-loaded|deadline]"
     );
     std::process::exit(2)
 }
@@ -53,6 +65,8 @@ fn main() {
     let mut frontend = dsp_service::Frontend::platform_default();
     let mut max_conns = 0usize;
     let mut reactor_threads = 0usize;
+    let mut shards = 1usize;
+    let mut route = RoutePolicy::Hash;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -105,23 +119,44 @@ fn main() {
             "--reactor-threads" => {
                 reactor_threads = next(&mut i).parse().unwrap_or_else(|_| usage());
             }
+            "--shards" => {
+                shards = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if shards == 0 || shards > MAX_SHARDS {
+                    usage();
+                }
+            }
+            "--route" => {
+                route = RoutePolicy::parse(&next(&mut i)).unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
     }
 
     let cluster = build_cluster(&cluster_name).unwrap_or_else(|| usage());
-    let scheduler = build_scheduler(&sched_name).unwrap_or_else(|| usage());
-    let policy = build_policy(&preempt_name, &params).unwrap_or_else(|| usage());
+    // Validate the names up front (exit 2 on a typo); the factories the
+    // federation calls per shard then cannot fail.
+    build_scheduler(&sched_name).unwrap_or_else(|| usage());
+    build_policy(&preempt_name, &params).unwrap_or_else(|| usage());
 
-    let driver = dsp_service::OnlineDriver::new(
+    let spec = FederationSpec {
         cluster,
-        params.engine_config(),
-        params.sched_period,
-        scheduler,
-        policy,
+        engine: params.engine_config(),
+        sched_period: params.sched_period,
         admission,
-    );
+        scheduler: {
+            let name = sched_name.clone();
+            Box::new(move || {
+                build_scheduler(&name).unwrap_or_else(|| unreachable!("validated above"))
+            })
+        },
+        policy: {
+            let (name, params) = (preempt_name.clone(), params);
+            Box::new(move || {
+                build_policy(&name, &params).unwrap_or_else(|| unreachable!("validated above"))
+            })
+        },
+    };
 
     let config = dsp_service::ServerConfig {
         addr,
@@ -131,9 +166,11 @@ fn main() {
         frontend,
         max_conns,
         reactor_threads,
+        shards,
+        route,
         ..Default::default()
     };
-    let handle = match serve(driver, config) {
+    let handle = match serve_federated(spec, config) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("dspd: failed to start: {e}");
@@ -143,6 +180,7 @@ fn main() {
     // The smoke script and client tooling scrape this line for the port.
     println!("dspd listening on {}", handle.addr);
     println!("dspd frontend: {}", frontend.name());
+    println!("dspd shards: {} (route: {})", handle.shards(), route.name());
     let _ = std::io::stdout().flush();
     handle.wait();
     println!("dspd drained; exiting");

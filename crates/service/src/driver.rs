@@ -54,7 +54,7 @@ impl JobRequest {
         }
     }
 
-    fn into_job(self, id: JobId, arrival: Time) -> Result<Job, AdmitError> {
+    pub(crate) fn into_job(self, id: JobId, arrival: Time) -> Result<Job, AdmitError> {
         if self.tasks.is_empty() {
             return Err(AdmitError::Invalid(format!("job {} has no tasks", id.0)));
         }
@@ -102,6 +102,11 @@ pub struct OnlineDriver {
     pending: Vec<Job>,
     pending_tasks: usize,
     next_id: u32,
+    /// Id step between consecutively admitted jobs. 1 for a standalone
+    /// driver; shard `i` of an `N`-shard federation uses base `i`, stride
+    /// `N`, so `id % N` names the owning shard and the federated id space
+    /// stays collision-free without coordination (DESIGN.md §10.7).
+    id_stride: u32,
     /// Estimated backlog horizon per node, maintained exactly like
     /// `dsp_core::experiment::periodic_schedules` does offline.
     busy_until: Vec<Time>,
@@ -135,6 +140,7 @@ impl OnlineDriver {
             pending: Vec::new(),
             pending_tasks: 0,
             next_id: 0,
+            id_stride: 1,
             busy_until: vec![Time::ZERO; nodes],
             next_boundary: Time::ZERO + sched_period,
             combined: Schedule::new(),
@@ -142,6 +148,28 @@ impl OnlineDriver {
             periods_elapsed: 0,
             batches_scheduled: 0,
         }
+    }
+
+    /// Restrict this driver to the strided id lane `base, base+stride,
+    /// base+2·stride, …` — shard `base` of a `stride`-shard federation.
+    /// Must be applied before any admission; the default lane (`0, 1`)
+    /// is the pre-federation behavior, byte for byte.
+    pub fn with_id_lane(mut self, base: u32, stride: u32) -> Self {
+        assert!(stride >= 1, "id stride must be positive");
+        assert!(base < stride, "id lane base must be below the stride");
+        assert_eq!(self.next_id, 0, "id lane must be set before any admission");
+        self.next_id = base;
+        self.id_stride = stride;
+        self
+    }
+
+    /// Stop admitting new work without draining the simulation: every
+    /// subsequent [`OnlineDriver::submit`] fails with
+    /// [`AdmitError::Draining`], while ticks keep advancing whatever is
+    /// already in flight. Phase one of the federation's two-phase drain;
+    /// [`OnlineDriver::drain`] is phase two.
+    pub fn quiesce(&mut self) {
+        self.draining = true;
     }
 
     /// Current simulation instant.
@@ -203,14 +231,14 @@ impl OnlineDriver {
         let arrival = self.now();
         let mut jobs = Vec::with_capacity(requests.len());
         for (k, req) in requests.into_iter().enumerate() {
-            jobs.push(req.into_job(JobId(self.next_id + k as u32), arrival)?);
+            jobs.push(req.into_job(JobId(self.next_id + k as u32 * self.id_stride), arrival)?);
         }
         validate_jobs(&jobs).map_err(|e| AdmitError::Invalid(format!("{e:?}")))?;
         if self.admission.check_feasibility {
             check_feasible(&jobs, self.engine.cluster(), self.next_boundary)?;
         }
         let ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
-        self.next_id += jobs.len() as u32;
+        self.next_id += jobs.len() as u32 * self.id_stride;
         self.pending_tasks += new_tasks;
         self.pending.extend(jobs);
         Ok(ids)
@@ -478,6 +506,24 @@ mod tests {
         // Ids were not burned: the next admit still starts at 0.
         let ids = d.submit(vec![chain_request(1, 100.0, None)]).unwrap();
         assert_eq!(ids, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn id_lane_strides_and_quiesce_blocks_intake() {
+        let mut d = driver(1000).with_id_lane(1, 4);
+        let ids =
+            d.submit(vec![chain_request(2, 100.0, None), chain_request(2, 100.0, None)]).unwrap();
+        assert_eq!(ids, vec![JobId(1), JobId(5)]);
+        let ids = d.submit(vec![chain_request(1, 100.0, None)]).unwrap();
+        assert_eq!(ids, vec![JobId(9)]);
+        d.quiesce();
+        assert!(d.is_draining());
+        let err = d.submit(vec![chain_request(1, 100.0, None)]).unwrap_err();
+        assert_eq!(err.reason(), "draining");
+        // Already-admitted work still runs dry under the same lane.
+        let snap = d.drain();
+        assert!(snap.verify().passes(), "{:?}", snap.verify());
+        assert_eq!(snap.jobs.iter().map(|j| j.id.0).collect::<Vec<_>>(), vec![1, 5, 9]);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   thread-per-connection accept loop, and (linux) the `reactor` — a
 //!   fixed pool of epoll event-loop threads that holds 10k+ sockets
 //!   with a thread count independent of connection count;
+//! * [`router`] — the sharded federation (DESIGN.md §10.7): `--shards N`
+//!   partitions the cluster into N sub-clusters, each with its own
+//!   driver, owner thread, queue, and snapshot cell; the router places
+//!   submit batches (`hash`, `least-loaded`, or `deadline` policy),
+//!   aggregates reads into one federated view, and coordinates the
+//!   two-phase drain that merges per-shard artifacts back into a single
+//!   auditable snapshot over the full cluster;
 //! * [`json`] / [`codec`] — a dependency-free JSON kernel and the
 //!   versioned artifact format (`format_version` stamps) shared with the
 //!   `dsp` CLI's dump/verify paths.
@@ -38,14 +45,20 @@ pub mod driver;
 pub mod json;
 #[cfg(target_os = "linux")]
 mod reactor;
+pub mod router;
 pub mod server;
+mod shard;
 pub mod state;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmitError};
 pub use codec::{Snapshot, FORMAT_VERSION};
 pub use driver::{JobRequest, JobStatus, OnlineDriver};
-pub use server::{serve, Client, Frontend, ServerConfig, ServerHandle};
+pub use router::RoutePolicy;
+pub use server::{
+    serve, serve_federated, Client, FederationSpec, Frontend, ServerConfig, ServerHandle,
+    MAX_SHARDS,
+};
 pub use state::{SnapshotCell, StateSnapshot};
 
 use dsp_core::config::Params;

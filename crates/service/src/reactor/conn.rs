@@ -9,7 +9,7 @@
 //! the blocking front end would sequence it.
 
 use crate::codec::{FrameBuffer, FrameError};
-use crate::server::{response_bytes, Command};
+use crate::server::{response_bytes, Dispatch};
 use crate::wire;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -32,9 +32,11 @@ pub(crate) struct Conn {
     /// A command for this connection is at (or headed to) the driver;
     /// frame processing is paused until its reply arrives.
     pub(crate) inflight: bool,
-    /// A command the bounded queue refused (`Full`); retried every loop
-    /// pass so backpressure stalls this connection, not the thread.
-    pub(crate) retry: Option<Command>,
+    /// A dispatch whose shard queue refused it (`Full`); retried every
+    /// loop pass so backpressure stalls this connection, not the
+    /// thread. The routing decision is baked in: a retry goes to the
+    /// same shard the router first picked.
+    pub(crate) retry: Option<Dispatch>,
     /// Flush what is queued, then close (drain reply, framing error).
     pub(crate) close_after_flush: bool,
     /// Close immediately; the socket is broken.

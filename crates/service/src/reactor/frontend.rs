@@ -11,7 +11,7 @@
 use super::conn::Conn;
 use super::poller::{ThreadPoller, TOKEN_LISTENER, TOKEN_WAKER};
 use crate::server::{
-    draining_response, route_line, shed_busy, Command, ReplySink, Routed, ServerConfig, Shared,
+    draining_response, route_line, shed_busy, ReplySink, Routed, ServerConfig, Shared,
 };
 use crate::wire;
 use dsp_epoll::{waker, Event, Waker};
@@ -334,10 +334,10 @@ fn run(
         // whether output is pending.
         for (slot, entry) in slab.iter_mut().enumerate() {
             let Some(conn) = entry.as_mut() else { continue };
-            if let Some(cmd) = conn.retry.take() {
-                match rt.shared.commands.try_send(cmd) {
+            if let Some(dispatch) = conn.retry.take() {
+                match rt.shared.router.try_send(dispatch) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(cmd)) => conn.retry = Some(cmd),
+                    Err(TrySendError::Full(dispatch)) => conn.retry = Some(dispatch),
                     Err(TrySendError::Disconnected(_)) => {
                         conn.inflight = false;
                         conn.queue_response(&draining_response());
@@ -414,9 +414,13 @@ fn process_frames(conn: &mut Conn, slot: usize, shared: &Shared, hub: &Arc<Threa
                 let token = (u64::from(conn.gen) << 32) | slot as u64;
                 let sink = ReplySink::Reactor(ReplyHandle { hub: Arc::clone(hub), token });
                 conn.inflight = true;
-                match shared.commands.try_send(Command::new(request, sink)) {
+                // Routing is resolved exactly once, here: a later retry
+                // re-sends the same dispatch, so backpressure can delay
+                // a request but never re-route it to another shard.
+                let dispatch = shared.router.plan(request, sink);
+                match shared.router.try_send(dispatch) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(cmd)) => conn.retry = Some(cmd),
+                    Err(TrySendError::Full(dispatch)) => conn.retry = Some(dispatch),
                     Err(TrySendError::Disconnected(_)) => {
                         conn.inflight = false;
                         conn.queue_response(&draining_response());

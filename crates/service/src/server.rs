@@ -1,23 +1,28 @@
 //! The TCP front end: connection serving, and the clock that maps wall
 //! time onto simulation time.
 //!
-//! Concurrency model (DESIGN.md §10.5): the request path is split into
-//! two lanes.
+//! Concurrency model (DESIGN.md §10.5, §10.7): the request path is split
+//! into two lanes, and the write lane is **sharded**.
 //!
 //! * **Write lane** — `submit` and `drain` (plus the ticker's clock
-//!   advances) are commands on a *bounded* FIFO queue drained by a
-//!   single driver-owner thread. The [`OnlineDriver`] is owned by that
-//!   thread outright — there is no mutex to convoy on — so mutations
-//!   are serialized exactly as before, but with FIFO fairness across
-//!   connections and explicit backpressure (a full queue blocks the
-//!   submitting client, not the whole service).
+//!   advances) are commands on *bounded* FIFO queues, one per shard,
+//!   each drained by a single driver-owner thread. Every shard's
+//!   [`OnlineDriver`] is owned by its thread outright — there is no
+//!   mutex to convoy on — so mutations are serialized per shard, with
+//!   FIFO fairness across connections and explicit backpressure (a full
+//!   queue blocks the submitting client, not the whole service). The
+//!   [`crate::router::Router`] decides which shard a submit lands on;
+//!   `drain` goes to a coordinator thread that runs the two-phase
+//!   federated drain.
 //! * **Read lane** — `ping`, `status`, `metrics`, `snapshot` are served
-//!   from the [`SnapshotCell`]: an immutable [`StateSnapshot`] the owner
-//!   thread re-publishes after every mutation (and at every boundary of
-//!   a drain). Read handlers hold no driver reference at all — the type
-//!   split in [`wire::handle_read`] makes touching the driver impossible
-//!   — so a drain running the simulation dry or a fat submit cannot
-//!   stall a monitoring client. Staleness is bounded by one mutation.
+//!   from per-shard [`SnapshotCell`]s: immutable [`StateSnapshot`]s each
+//!   owner thread re-publishes after every mutation (and at every
+//!   boundary of a drain). Read handlers hold no driver reference at all
+//!   — the type split in [`wire::handle_read`] makes touching the driver
+//!   impossible — so a drain running the simulation dry or a fat submit
+//!   cannot stall a monitoring client. Staleness is bounded by one
+//!   mutation per shard. With more than one shard the router aggregates
+//!   the per-shard views into one federated reply (DESIGN.md §10.7).
 //!
 //! Two **front ends** serve connections against those lanes
 //! (DESIGN.md §10.6), selected by [`ServerConfig::frontend`]:
@@ -27,18 +32,21 @@
 //!   sockets.
 //! * [`Frontend::Reactor`] — a small fixed pool of epoll event-loop
 //!   threads (linux only; the platform default there). Reads are
-//!   answered inline on the reactor thread; writes funnel into the same
-//!   command queue with replies delivered back through a per-thread
-//!   inbox. Thread count is independent of connection count.
+//!   answered inline on the reactor thread; writes funnel into the
+//!   per-shard command queues with replies delivered back through a
+//!   per-thread inbox. Thread count is independent of connection count.
 //!
 //! Both front ends share [`route_line`] and the [`FrameBuffer`] framing
-//! state machine, so reply bytes and reason tokens are identical
-//! whichever serves the socket.
+//! state machine, and both resolve a queued request's target shard
+//! exactly once (through [`crate::router::Router::plan`]), so reply
+//! bytes, reason tokens, and shard assignment are identical whichever
+//! serves the socket.
 //!
 //! `ServerConfig::read_cache` is the A/B off-switch: with it off, reads
-//! are routed through the command queue too, restoring the old
+//! are routed through the (single) command queue too, restoring the old
 //! serialize-everything behavior (`dsp bench --service` measures the
-//! difference; `dspd --read-cache off` exposes it operationally).
+//! difference; `dspd --read-cache off` exposes it operationally). The
+//! off-switch requires `shards == 1`.
 //!
 //! **Time**: the simulation clock runs at `time_scale` simulated seconds
 //! per wall second. The paper's cadences (300 s scheduling period, 5 s
@@ -46,17 +54,27 @@
 //! say, 600 crosses a scheduling period every half wall-second while
 //! keeping event order identical to an offline run at the same instants.
 
+use crate::admission::AdmissionConfig;
 use crate::codec::{FrameBuffer, Snapshot};
 use crate::driver::OnlineDriver;
-use crate::state::{SnapshotCell, StateSnapshot};
+use crate::router::{coordinate, RoutePolicy, Router, ShardHandle};
+use crate::shard::{run_shard, Publisher};
+use crate::state::StateSnapshot;
 use crate::wire;
+use dsp_cluster::ClusterSpec;
+use dsp_sim::EngineConfig;
+use dsp_units::Dur;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Hard ceiling on the shard count: the reroute path tracks visited
+/// shards in a `u64` bitmask (see [`crate::router::Router`]).
+pub const MAX_SHARDS: usize = 64;
 
 /// Which connection-serving machinery fronts the two request lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,9 +126,11 @@ pub struct ServerConfig {
     pub tick: Duration,
     /// Serve reads from the published snapshot cache (the default). Off
     /// routes reads through the command queue — the serialize-everything
-    /// baseline kept for A/B measurement (`--read-cache off`).
+    /// baseline kept for A/B measurement (`--read-cache off`). Requires
+    /// `shards == 1`.
     pub read_cache: bool,
-    /// Bound on queued write commands; a full queue blocks the sender.
+    /// Bound on queued write commands **per shard**; a full queue blocks
+    /// the sender.
     pub queue_depth: usize,
     /// Connection-serving front end (see [`Frontend`]).
     pub frontend: Frontend,
@@ -121,6 +141,13 @@ pub struct ServerConfig {
     pub reactor_threads: usize,
     /// Per-frame byte limit; 0 = [`crate::codec::DEFAULT_MAX_FRAME`].
     pub max_frame: usize,
+    /// Shard count for [`serve_federated`]: the cluster is split into
+    /// this many independent engine+driver partitions (clamped to the
+    /// node count and [`MAX_SHARDS`]). [`serve`] requires 1.
+    pub shards: usize,
+    /// Placement policy the router uses to assign submit batches to
+    /// shards (see [`RoutePolicy`]). Irrelevant at `shards == 1`.
+    pub route: RoutePolicy,
 }
 
 impl Default for ServerConfig {
@@ -135,30 +162,68 @@ impl Default for ServerConfig {
             max_conns: 0,
             reactor_threads: 0,
             max_frame: 0,
+            shards: 1,
+            route: RoutePolicy::Hash,
         }
     }
 }
 
-/// One unit of work for the driver-owner thread.
+/// Everything needed to build one shard's [`OnlineDriver`]. The
+/// scheduler and policy are factories because each shard owns its own
+/// instances outright (they are stateful and `Send`, not `Sync`).
+pub struct FederationSpec {
+    /// The full cluster inventory; [`ClusterSpec::split`] partitions it.
+    pub cluster: ClusterSpec,
+    /// Engine cadence knobs, shared by every shard.
+    pub engine: EngineConfig,
+    /// Offline scheduling period, shared by every shard.
+    pub sched_period: Dur,
+    /// Admission bounds, applied **per shard** (`max_pending_tasks` is a
+    /// per-shard queue bound, so total buffering scales with the shard
+    /// count).
+    pub admission: AdmissionConfig,
+    /// Per-shard offline scheduler factory.
+    pub scheduler: Box<dyn Fn() -> Box<dyn dsp_sched::Scheduler + Send>>,
+    /// Per-shard preemption policy factory.
+    pub policy: Box<dyn Fn() -> Box<dyn dsp_sim::PreemptPolicy + Send>>,
+}
+
+/// One unit of work for a driver-owner (or coordinator) thread.
 pub(crate) enum Command {
-    /// A client mutation; the response goes back through the sink.
-    Write(wire::WriteRequest, ReplySink),
+    /// A client mutation; the response goes back through the sink. The
+    /// `u64` is the reroute bitmask: shards that already refused this
+    /// submit because they were quiesced (0 on first dispatch).
+    Write(wire::WriteRequest, ReplySink, u64),
     /// A client read in `read_cache: false` mode: answered from the
     /// published snapshot, but only after every earlier command — the
     /// old mutex-convoy behavior, preserved for A/B benchmarks.
     ReadThrough(wire::ReadRequest, ReplySink),
     /// The ticker mapping wall time onto simulation time.
     Tick(dsp_units::Time),
+    /// Stop admitting on this shard (phase one of the federated drain);
+    /// ack once the refusal is in force and published.
+    Quiesce(SyncSender<()>),
+    /// Run this shard's simulation dry and hand back its final snapshot
+    /// (phase two of the federated drain).
+    DrainShard(SyncSender<Box<Snapshot>>),
 }
 
-impl Command {
-    /// Attach a reply sink to a routed queue request.
-    pub(crate) fn new(request: QueuedRequest, reply: ReplySink) -> Command {
-        match request {
-            QueuedRequest::Write(w) => Command::Write(w, reply),
-            QueuedRequest::Read(r) => Command::ReadThrough(r, reply),
-        }
-    }
+/// Where a routed command is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// Shard `i`'s driver-owner queue.
+    Shard(usize),
+    /// The drain coordinator's queue.
+    Coordinator,
+}
+
+/// A command with its resolved destination. Routing happens exactly once
+/// (in [`Router::plan`]); a front end that must park a command under
+/// queue backpressure re-sends the *same* dispatch, so backpressure can
+/// never change a request's shard assignment.
+pub(crate) struct Dispatch {
+    pub(crate) target: Target,
+    pub(crate) command: Command,
 }
 
 /// Where the driver-owner thread sends a command's response.
@@ -192,15 +257,15 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     frontend_threads: Vec<JoinHandle<()>>,
     ticker_thread: Option<JoinHandle<()>>,
-    owner_thread: Option<JoinHandle<()>>,
+    owner_threads: Vec<JoinHandle<()>>,
+    coordinator_thread: Option<JoinHandle<()>>,
 }
 
-/// What every connection handler can see: the command queue, the read
-/// cache, and the stop flag. Deliberately **not** the driver — only the
-/// owner thread holds that.
+/// What every connection handler can see: the router over the per-shard
+/// command queues and snapshot cells, and the stop flag. Deliberately
+/// **not** the drivers — only their owner threads hold those.
 pub(crate) struct Shared {
-    pub(crate) commands: SyncSender<Command>,
-    pub(crate) reads: Arc<SnapshotCell>,
+    pub(crate) router: Router,
     pub(crate) read_cache: bool,
     shutdown: AtomicBool,
 }
@@ -223,7 +288,8 @@ impl Shared {
     /// shutdown) surface as a `draining` refusal rather than a hang.
     fn roundtrip(&self, request: QueuedRequest) -> wire::Response {
         let (reply_tx, reply_rx) = sync_channel(1);
-        if self.commands.send(Command::new(request, ReplySink::Blocking(reply_tx))).is_ok() {
+        let dispatch = self.router.plan(request, ReplySink::Blocking(reply_tx));
+        if self.router.send(dispatch).is_ok() {
             if let Ok(response) = reply_rx.recv() {
                 return response;
             }
@@ -240,7 +306,7 @@ pub(crate) fn draining_response() -> wire::Response {
     }
 }
 
-/// A routed request that must go through the command queue.
+/// A routed request that must go through a command queue.
 pub(crate) enum QueuedRequest {
     Write(wire::WriteRequest),
     Read(wire::ReadRequest),
@@ -248,10 +314,10 @@ pub(crate) enum QueuedRequest {
 
 /// The outcome of routing one request line.
 pub(crate) enum Routed {
-    /// Answered without touching the driver: a cached read or a parse
+    /// Answered without touching a driver: a cached read or a parse
     /// failure. Never carries `shutdown`.
     Immediate(wire::Response),
-    /// Must be serialized through the driver-owner thread.
+    /// Must be serialized through a driver-owner thread.
     Queue(QueuedRequest),
 }
 
@@ -260,11 +326,11 @@ pub(crate) enum Routed {
 /// tokens cannot diverge between them because they both come from here.
 pub(crate) fn route_line(line: &str, shared: &Shared) -> Routed {
     match wire::parse_request(line) {
-        // The read lane: answered from the published snapshot alone.
-        // This arm has no path to the driver — `handle_read` only
-        // accepts the immutable view.
+        // The read lane: answered from the published snapshots alone.
+        // This arm has no path to a driver — the router only ever hands
+        // `handle_read` the immutable views.
         Ok(wire::Request::Read(request)) if shared.read_cache => {
-            Routed::Immediate(wire::handle_read(&shared.reads.load(), request))
+            Routed::Immediate(shared.router.handle_read(request))
         }
         // A/B baseline: reads serialized behind the write queue.
         Ok(wire::Request::Read(request)) => Routed::Queue(QueuedRequest::Read(request)),
@@ -298,51 +364,96 @@ pub(crate) fn shed_busy(stream: &mut TcpStream, max_conns: usize) {
     let _ = stream.write(&response_bytes(&response));
 }
 
-/// Publishes [`StateSnapshot`]s into the cell after driver mutations,
-/// reusing the heavyweight artifact `Arc` across quiet ticks (same
-/// [`OnlineDriver::change_stamp`] — nothing to re-serialize).
-struct Publisher {
-    cell: Arc<SnapshotCell>,
-    version: u64,
-    stamp: (u64, u64, u64),
-    artifact: Arc<Snapshot>,
-}
-
-impl Publisher {
-    fn publish(&mut self, driver: &OnlineDriver) {
-        let stamp = driver.change_stamp();
-        if stamp != self.stamp {
-            self.artifact = Arc::new(driver.snapshot());
-            self.stamp = stamp;
-        }
-        self.version += 1;
-        self.cell.publish(driver.state_snapshot(self.version, Arc::clone(&self.artifact)));
-    }
-}
-
-/// Boot the service: bind, start the driver-owner thread and the clock,
-/// start the selected front end.
+/// Boot a single-shard service around an already-built driver: bind,
+/// start the driver-owner thread and the clock, start the selected front
+/// end. Multi-shard federation needs the driver *factories* instead —
+/// use [`serve_federated`]; this entry rejects `config.shards > 1`.
 pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    if config.shards > 1 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "serve() runs exactly one shard; use serve_federated() for --shards > 1",
+        ));
+    }
+    let cluster = driver.cluster().clone();
+    serve_inner(vec![driver], cluster, vec![0], config)
+}
+
+/// Boot the federated service: split the cluster into `config.shards`
+/// partitions, build one [`OnlineDriver`] per partition on its own id
+/// lane (shard `i` assigns ids `i, i+N, i+2N, …`), and stand a placement
+/// router in front (DESIGN.md §10.7). At `shards == 1` this is the
+/// pre-federation single-driver path, byte for byte.
+pub fn serve_federated(
+    spec: FederationSpec,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let shards = config.shards.clamp(1, MAX_SHARDS).min(spec.cluster.len().max(1));
+    if shards > 1 && !config.read_cache {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "--read-cache off is a single-shard A/B baseline; it cannot federate",
+        ));
+    }
+    let offsets = spec.cluster.split_offsets(shards);
+    let drivers: Vec<OnlineDriver> = spec
+        .cluster
+        .split(shards)
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            OnlineDriver::new(
+                part,
+                spec.engine,
+                spec.sched_period,
+                (spec.scheduler)(),
+                (spec.policy)(),
+                spec.admission.clone(),
+            )
+            .with_id_lane(i as u32, shards as u32)
+        })
+        .collect();
+    serve_inner(drivers, spec.cluster, offsets, config)
+}
+
+/// The common boot path: one command queue + owner thread + snapshot
+/// cell per driver, a coordinator thread for federated drains, the
+/// ticker, and the selected front end.
+fn serve_inner(
+    drivers: Vec<OnlineDriver>,
+    full_cluster: ClusterSpec,
+    offsets: Vec<u32>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    // Seed the read lane before the first connection can land.
-    let artifact = Arc::new(driver.snapshot());
-    let stamp = driver.change_stamp();
-    let cell = Arc::new(SnapshotCell::new(driver.state_snapshot(0, Arc::clone(&artifact))));
-    let (commands, command_rx) = sync_channel(config.queue_depth.max(1));
+    // Seed every shard's read lane before the first connection can land.
+    let mut handles = Vec::with_capacity(drivers.len());
+    let mut shard_threads = Vec::with_capacity(drivers.len());
+    for driver in drivers {
+        let publisher = Publisher::seed(&driver);
+        let (commands, command_rx) = sync_channel(config.queue_depth.max(1));
+        handles.push(ShardHandle {
+            commands,
+            cell: publisher.cell(),
+            cluster: driver.cluster().clone(),
+        });
+        shard_threads.push((driver, command_rx, publisher));
+    }
+    let (coordinator, coordinator_rx) = sync_channel(config.queue_depth.max(1));
+    let router = Router::new(handles, coordinator, config.route, full_cluster, offsets);
 
     let shared = Arc::new(Shared {
-        commands,
-        reads: Arc::clone(&cell),
+        router,
         read_cache: config.read_cache,
         shutdown: AtomicBool::new(false),
     });
 
-    // The front end boots before the driver-owner thread so a bad
-    // configuration (reactor off-linux) fails `serve` without leaking a
-    // running owner.
+    // The front end boots before the driver-owner threads so a bad
+    // configuration (reactor off-linux) fails `serve` without leaking
+    // running owners.
     let frontend_threads = match config.frontend {
         Frontend::Threads => vec![spawn_threads_frontend(listener, Arc::clone(&shared), &config)],
         #[cfg(target_os = "linux")]
@@ -356,10 +467,18 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
         }
     };
 
-    let owner_thread = {
+    let owner_threads = shard_threads
+        .into_iter()
+        .enumerate()
+        .map(|(index, (driver, command_rx, publisher))| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_shard(index, driver, command_rx, publisher, &shared))
+        })
+        .collect();
+
+    let coordinator_thread = {
         let shared = Arc::clone(&shared);
-        let publisher = Publisher { cell, version: 0, stamp, artifact };
-        std::thread::spawn(move || drive(driver, command_rx, publisher, &shared))
+        std::thread::spawn(move || coordinate(coordinator_rx, &shared))
     };
 
     let ticker_thread = {
@@ -371,11 +490,11 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
             while !shared.stopping() {
                 std::thread::sleep(tick);
                 let target = dsp_units::Time::from_secs_f64(start.elapsed().as_secs_f64() * scale);
-                // A full queue means the owner is busy with client work;
-                // skipping a tick is fine — the next one re-targets.
-                match shared.commands.try_send(Command::Tick(target)) {
-                    Ok(()) | Err(TrySendError::Full(_)) => {}
-                    Err(TrySendError::Disconnected(_)) => break,
+                // Broadcast to every shard. A full queue means that
+                // owner is busy with client work; skipping its tick is
+                // fine — the next one re-targets.
+                if !shared.router.tick_all(target) {
+                    break;
                 }
             }
         })
@@ -386,7 +505,8 @@ pub fn serve(driver: OnlineDriver, config: ServerConfig) -> std::io::Result<Serv
         shared,
         frontend_threads,
         ticker_thread: Some(ticker_thread),
-        owner_thread: Some(owner_thread),
+        owner_threads,
+        coordinator_thread: Some(coordinator_thread),
     })
 }
 
@@ -468,55 +588,6 @@ impl Drop for ConnTicket {
     }
 }
 
-/// The driver-owner loop: the only code that ever touches the
-/// [`OnlineDriver`] after boot. Commands are processed strictly FIFO;
-/// after each mutation the publisher swaps a fresh snapshot into the
-/// read cell. Exits once shutdown is flagged and the queue stays empty
-/// for one poll interval (late commands still get answered).
-fn drive(
-    mut driver: OnlineDriver,
-    commands: Receiver<Command>,
-    mut publisher: Publisher,
-    shared: &Shared,
-) {
-    loop {
-        let command = match commands.recv_timeout(Duration::from_millis(50)) {
-            Ok(c) => c,
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.stopping() {
-                    break;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        match command {
-            Command::Tick(target) => {
-                if driver.is_draining() {
-                    continue;
-                }
-                driver.advance_to(target);
-                publisher.publish(&driver);
-            }
-            Command::Write(request, reply) => {
-                let response =
-                    wire::handle_write(&mut driver, request, &mut |d| publisher.publish(d));
-                publisher.publish(&driver);
-                let shutdown = response.shutdown;
-                // A vanished recipient (client hung up mid-call) must
-                // not kill the service.
-                reply.deliver(response);
-                if shutdown {
-                    shared.stop();
-                }
-            }
-            Command::ReadThrough(request, reply) => {
-                reply.deliver(wire::handle_read(&publisher.cell.load(), request));
-            }
-        }
-    }
-}
-
 fn handle_client(stream: TcpStream, shared: &Shared, max_frame: usize) {
     // Connection I/O errors just drop the client; the service lives on.
     // The read timeout keeps idle connections from pinning the shutdown
@@ -581,10 +652,26 @@ fn handle_client(stream: TcpStream, shared: &Shared, max_frame: usize) {
 }
 
 impl ServerHandle {
-    /// The read lane's publish point — what `status`/`metrics`/`snapshot`
-    /// are answered from. Exposed for tests and in-process tooling.
+    /// Shard 0's read-lane publish point — what `status`/`metrics`/
+    /// `snapshot` are answered from on a single-shard service. Exposed
+    /// for tests and in-process tooling; federated aggregation happens
+    /// in the router, not here.
     pub fn reads(&self) -> Arc<StateSnapshot> {
-        self.shared.reads.load()
+        self.shared.router.primary_cell().load()
+    }
+
+    /// How many shards this instance is running.
+    pub fn shards(&self) -> usize {
+        self.shared.router.shard_count()
+    }
+
+    /// Quiesce one shard: stop its intake without draining it, as the
+    /// federated drain's phase one does. Blocks until the shard has
+    /// published the refusal; false when the index is out of range or
+    /// the shard is gone. Exposed for the drain-vs-submit regression
+    /// tests and for operational shedding experiments.
+    pub fn quiesce_shard(&self, index: usize) -> bool {
+        self.shared.router.quiesce_shard(index)
     }
 
     /// Has a drain (or explicit shutdown) been requested?
@@ -604,13 +691,16 @@ impl ServerHandle {
         if let Some(h) = self.ticker_thread.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.owner_thread.take() {
+        for h in self.owner_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.coordinator_thread.take() {
             let _ = h.join();
         }
     }
 
-    /// Block until the front end, clock, and driver-owner exit (after
-    /// a `drain` request or [`ServerHandle::shutdown`]).
+    /// Block until the front end, clock, and driver-owner threads exit
+    /// (after a `drain` request or [`ServerHandle::shutdown`]).
     pub fn wait(mut self) {
         self.join_all();
     }

@@ -15,6 +15,12 @@
 //! sequence number; successive reads on one connection see it
 //! non-decreasing, which the concurrency stress tier asserts.
 //!
+//! Under `--shards N` there are N cells, one per shard, each fed by its
+//! own driver-owner thread exactly as above. The router reads them
+//! without any cross-shard lock and aggregates (max of versions, min of
+//! clocks — both monotone); per-shard semantics in this module are
+//! unchanged (DESIGN.md §10.7).
+//!
 //! Why not a literally lock-free cell: `unsafe` is forbidden
 //! workspace-wide and no lock-free `Arc` cell exists in the vendored
 //! dependency set, so the cell is a `parking_lot::RwLock<Arc<_>>` whose

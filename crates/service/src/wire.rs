@@ -13,13 +13,14 @@
 //! | `drain`    | —                           | `snapshot`; server shuts down|
 //!
 //! Every response carries `"ok": bool`; failures add a stable `"reason"`
-//! token (`bad_request`, `backpressure`, `infeasible`, `invalid`,
-//! `draining`, `unknown_job`, `busy`) and a human-readable `"error"`
-//! string. `busy` is issued by the front end itself when the
-//! `--max-conns` cap sheds a connection, before any request is read.
+//! token and a human-readable `"error"` string. The token table lives in
+//! **one** place — DESIGN.md §10.7 ("Wire reason tokens") — tests assert
+//! against these constants, not against fresh string literals.
 //! Read responses additionally carry `"state_version"`, the publish
 //! sequence number of the snapshot they were answered from —
-//! non-decreasing per connection.
+//! non-decreasing per connection (under `--shards N>1` it is the max of
+//! the per-shard versions, and a `shard_versions` array carries the
+//! whole vector; see DESIGN.md §10.7).
 //!
 //! A `JobRequest` is `{class?, deadline_us?, tasks: […], edges: [[u,v]…]}`
 //! where each task is `{size, est_size?, recovery_us?, demand?}` — only
@@ -241,6 +242,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         other => Err(format!("unknown op '{other}'")),
     }
 }
+
+/// The stable `"reason"` tokens clients may match on. The authoritative
+/// table (meaning, issuer, retry semantics) is DESIGN.md §10.7 — these
+/// constants exist so producers and tests share one spelling.
+pub mod reason {
+    /// Malformed request line (front end, before any lane).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Pending-queue cap hit; retry later ([`crate::AdmitError`]).
+    pub const BACKPRESSURE: &str = "backpressure";
+    /// Deadline-feasibility pre-check refused the batch.
+    pub const INFEASIBLE: &str = "infeasible";
+    /// Structurally invalid job (empty, bad edge, …).
+    pub const INVALID: &str = "invalid";
+    /// Service (or every shard) is draining; no new work accepted.
+    pub const DRAINING: &str = "draining";
+    /// `status` for an id that was never admitted.
+    pub const UNKNOWN_JOB: &str = "unknown_job";
+    /// Connection cap shed this socket before reading a request.
+    pub const BUSY: &str = "busy";
+    /// Reroute walked every shard and none could admit the batch —
+    /// each was quiesced or its queue saturated — while the federation
+    /// as a whole is *not* draining. Retryable, unlike `draining`.
+    pub const QUIESCED: &str = "quiesced";
+}
+
+/// Re-export for terse call sites ([`crate::router`]'s shed path).
+pub use reason::QUIESCED as REASON_QUIESCED;
 
 /// Build a failure response line.
 pub fn error_response(reason: &str, message: &str) -> Json {

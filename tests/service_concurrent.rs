@@ -4,6 +4,12 @@
 //! test spins up its own thread fleet and the assertions are about
 //! cross-thread interleavings, not wall time.
 //!
+//! `DSP_TEST_SHARDS=N` re-runs the whole tier against an N-shard
+//! federation (CI runs a `--shards 4` leg under both frontends); the
+//! exact-count assertions scale with the shard count because routing is
+//! deterministic and admission is per-shard. Unset, everything runs at
+//! one shard — the pre-federation path.
+//!
 //! What the readers assert on every response (per connection):
 //!   * `state_version` is non-decreasing — snapshots publish in order and
 //!     a connection never observes time running backwards;
@@ -13,28 +19,65 @@
 
 use dsp_service::json::Json;
 use dsp_service::{
-    serve, wire, AdmissionConfig, Frontend, JobRequest, OnlineDriver, ServerConfig, Snapshot,
+    serve, serve_federated, wire, AdmissionConfig, FederationSpec, Frontend, JobRequest,
+    OnlineDriver, ServerConfig, ServerHandle, Snapshot,
 };
 use dsp_sim::EngineConfig;
 use dsp_units::{Dur, Time};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+fn engine() -> EngineConfig {
+    EngineConfig {
+        epoch: Dur::from_secs(5),
+        sigma: Dur::from_millis(50),
+        max_time: Time::from_secs(7 * 24 * 3600),
+        lookahead: 4,
+    }
+}
+
 fn driver(max_pending_tasks: usize, period_secs: u64) -> OnlineDriver {
     let params = dsp_core::config::Params::default();
     OnlineDriver::new(
         dsp_cluster::uniform(2, 1000.0, 1),
-        EngineConfig {
-            epoch: Dur::from_secs(5),
-            sigma: Dur::from_millis(50),
-            max_time: Time::from_secs(7 * 24 * 3600),
-            lookahead: 4,
-        },
+        engine(),
         Dur::from_secs(period_secs),
         Box::new(dsp_sched::DspListScheduler::default()),
         Box::new(dsp_preempt::DspPolicy::new(params.dsp_params(true))),
         AdmissionConfig { max_pending_tasks, check_feasibility: true },
     )
+}
+
+/// Shard count for this run (`DSP_TEST_SHARDS`, default 1).
+fn test_shards() -> usize {
+    std::env::var("DSP_TEST_SHARDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// Serve the tier's standard service at the configured shard count.
+/// The cluster grows with the shard count (two 1-slot nodes per shard)
+/// so every shard owns the same sub-cluster the 1-shard tier ran on,
+/// and `max_pending_tasks` stays a *per-shard* admission bound.
+fn serve_sharded(
+    max_pending_tasks: usize,
+    period_secs: u64,
+    mut config: ServerConfig,
+) -> (ServerHandle, usize) {
+    let shards = test_shards();
+    config.shards = shards;
+    let spec = FederationSpec {
+        cluster: dsp_cluster::uniform(2 * shards, 1000.0, 1),
+        engine: engine(),
+        sched_period: Dur::from_secs(period_secs),
+        admission: AdmissionConfig { max_pending_tasks, check_feasibility: true },
+        scheduler: Box::new(|| Box::new(dsp_sched::DspListScheduler::default())),
+        policy: Box::new(|| {
+            let params = dsp_core::config::Params::default();
+            Box::new(dsp_preempt::DspPolicy::new(params.dsp_params(true)))
+        }),
+    };
+    let handle = serve_federated(spec, config).expect("bind ephemeral port");
+    assert_eq!(handle.shards(), shards, "cluster must be large enough for the shard count");
+    (handle, shards)
 }
 
 fn one_task_job(size: f64) -> JobRequest {
@@ -84,8 +127,19 @@ impl Monotone {
     }
 }
 
-const STABLE_REASONS: &[&str] =
-    &["bad_request", "backpressure", "infeasible", "invalid", "draining", "unknown_job"];
+// The one authoritative token table lives in DESIGN.md §10.7; this
+// mirror is built from the `wire::reason` constants so a token rename
+// fails compilation here instead of silently splitting the protocol.
+const STABLE_REASONS: &[&str] = &[
+    wire::reason::BAD_REQUEST,
+    wire::reason::BACKPRESSURE,
+    wire::reason::INFEASIBLE,
+    wire::reason::INVALID,
+    wire::reason::DRAINING,
+    wire::reason::UNKNOWN_JOB,
+    wire::reason::BUSY,
+    wire::reason::QUIESCED,
+];
 
 fn assert_stable_reason(resp: &Json) {
     if resp.get("ok") == Some(&Json::Bool(false)) {
@@ -113,8 +167,9 @@ fn reads_complete_mid_drain(frontend: Frontend) {
     // Frozen clock: every bit of simulation happens inside the drain
     // command, so the whole drain window is observable. A 20 s period
     // forces many boundary publishes while the engine runs dry.
-    let handle = serve(
-        driver(100_000, 20),
+    let (handle, _shards) = serve_sharded(
+        100_000,
+        20,
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             time_scale: 0.0,
@@ -122,8 +177,7 @@ fn reads_complete_mid_drain(frontend: Frontend) {
             frontend,
             ..Default::default()
         },
-    )
-    .expect("bind ephemeral port");
+    );
     let addr = handle.addr.to_string();
 
     let mut submitter = dsp_service::Client::connect(&addr).expect("connect");
@@ -203,9 +257,10 @@ fn writers_and_readers_race_without_torn_reads_reactor() {
 }
 
 fn writers_and_readers_race(frontend: Frontend) {
-    const MAX_PENDING: usize = 8; // 4 two-task batches fit, nothing more
-    let handle = serve(
-        driver(MAX_PENDING, 100),
+    const MAX_PENDING: usize = 8; // 4 two-task batches fit per shard, nothing more
+    let (handle, shards) = serve_sharded(
+        MAX_PENDING,
+        100,
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             time_scale: 0.0,
@@ -213,8 +268,7 @@ fn writers_and_readers_race(frontend: Frontend) {
             frontend,
             ..Default::default()
         },
-    )
-    .expect("bind ephemeral port");
+    );
     let addr = handle.addr.to_string();
 
     let admitted = Arc::new(AtomicU64::new(0));
@@ -259,8 +313,10 @@ fn writers_and_readers_race(frontend: Frontend) {
                     mono.check(&m);
                     let pending =
                         m.get("pending_tasks").and_then(Json::as_u64).expect("pending_tasks");
+                    // Federated metrics sum per-shard queues; each shard's
+                    // admission bound still holds, so the sum is capped too.
                     assert!(
-                        pending <= MAX_PENDING as u64,
+                        pending <= (MAX_PENDING * shards) as u64,
                         "published snapshot shows an over-admitted queue: {pending}"
                     );
                     // Sparse status probes: an id nothing ever admitted must
@@ -291,16 +347,19 @@ fn writers_and_readers_race(frontend: Frontend) {
         r.join().expect("reader thread");
     }
 
-    // Frozen clock ⇒ the queue never drained: exactly 4 two-task batches
-    // fit in an 8-task queue, and all 96 later submissions shed.
-    assert_eq!(admitted.load(Ordering::SeqCst), 4);
-    assert_eq!(shed.load(Ordering::SeqCst), 96);
+    // Frozen clock ⇒ no queue ever drained: exactly 4 two-task batches
+    // fit each shard's 8-task queue, and the router's round-robin hands
+    // every shard at least 4 of the 100 batches, so exactly `4 * shards`
+    // are admitted and everything later sheds. (Backpressure does NOT
+    // reroute — a full sibling queue is load, not a quiesce.)
+    assert_eq!(admitted.load(Ordering::SeqCst), 4 * shards as u64);
+    assert_eq!(shed.load(Ordering::SeqCst), 100 - 4 * shards as u64);
 
     let mut c = dsp_service::Client::connect(&addr).expect("connect");
     let resp = c.call(&op("drain")).expect("drain");
     assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
     let snap = Snapshot::from_json(resp.get("snapshot").expect("snapshot")).expect("decodes");
-    assert_eq!(snap.jobs.len(), 4, "exactly the admitted batches drain");
+    assert_eq!(snap.jobs.len(), 4 * shards, "exactly the admitted batches drain");
     assert!(snap.verify().passes(), "{:?}", snap.verify());
     handle.wait();
 }
@@ -321,8 +380,12 @@ fn connections_over_max_conns_shed_with_busy_reactor() {
 
 fn busy_shed_over_cap(frontend: Frontend) {
     use std::io::BufRead;
-    let handle = serve(
-        driver(10_000, 100),
+    // The connection cap is frontend-level and shard-agnostic, but the
+    // tier still honors DSP_TEST_SHARDS so the shed path is exercised in
+    // front of a federation too.
+    let (handle, _shards) = serve_sharded(
+        10_000,
+        100,
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             time_scale: 0.0,
@@ -331,8 +394,7 @@ fn busy_shed_over_cap(frontend: Frontend) {
             frontend,
             ..Default::default()
         },
-    )
-    .expect("bind ephemeral port");
+    );
     let addr = handle.addr.to_string();
 
     // Fill the cap with two live connections (a round trip each proves
@@ -389,6 +451,10 @@ fn read_through_mode_serves_the_same_protocol_reactor() {
 }
 
 fn read_through_mode(frontend: Frontend) {
+    // Read-through deliberately stays a 1-shard mode: routing reads
+    // through N write queues would serialize them behind an arbitrary
+    // shard and mean nothing — `serve_federated` rejects the combination
+    // (see DESIGN.md §10.7), so this A/B leg ignores DSP_TEST_SHARDS.
     let handle = serve(
         driver(10_000, 100),
         ServerConfig {
