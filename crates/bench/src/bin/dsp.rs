@@ -23,12 +23,24 @@
 //! dsp metrics --addr HOST:PORT
 //! dsp drain   --addr HOST:PORT [--out SNAPSHOT_FILE]
 //!
+//! dsp matrix  [--quick|--smoke|--full] [--seed S] [--jobs N] [--scale F]
+//!             [--out DIR] [--no-artifacts]
+//!
 //! dsp bench   [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]
 //! dsp bench   --compare [OLD.json] NEW.json [--threshold PCT]
 //!
 //! dsp analyze [--json] [--lint ID]... [--baseline FILE]
 //!             [--write-baseline FILE] [--root DIR]
 //! ```
+//!
+//! `dsp matrix` runs the scenario-grid evaluation rig (DESIGN.md §13):
+//! every scheduler × preemption arm across execution-time models, arrival
+//! patterns, deadline tiers, node mixes and failure storms. It prints one
+//! CSV comparison table (stdout, or `DIR/matrix.csv` with `--out`) and,
+//! with `--out`, writes each cell's verified snapshot artifact to
+//! `DIR/cells/<cell>.json` — every one replayable through
+//! `dsp verify --snapshot`. The run is bit-identical per `--seed`; it
+//! exits 1 if any cell fails R1–R6 verification.
 //!
 //! Artifacts (`--dump-*`, snapshots) are versioned JSON: every file
 //! carries a `format_version` stamp and `dsp verify` exits 2 with a clear
@@ -87,6 +99,8 @@ fn usage() -> ! {
          \x20      dsp status --addr HOST:PORT --job ID\n\
          \x20      dsp metrics --addr HOST:PORT\n\
          \x20      dsp drain --addr HOST:PORT [--out SNAPSHOT_FILE]\n\
+         \x20      dsp matrix [--quick|--smoke|--full] [--seed S] [--jobs N] [--scale F] \
+         [--out DIR] [--no-artifacts]\n\
          \x20      dsp bench [--quick] [--baseline] [--threads N] [--label NAME] [--out FILE]\n\
          \x20      dsp bench --compare [OLD.json] NEW.json [--threshold PCT]\n\
          \x20      dsp analyze [--json] [--lint ID]... [--baseline FILE] \
@@ -443,6 +457,93 @@ fn verify_main(argv: &[String]) {
         report.merge(check_execution(&history, None));
     }
     finish_verify(report, schedule.len(), json)
+}
+
+// ------------------------------------------------------------------- matrix
+
+fn matrix_main(argv: &[String]) {
+    use dsp_core::matrix::{to_csv, MatrixConfig};
+    let mut kind = "quick";
+    let mut seed = 2018u64;
+    let mut out_dir: Option<String> = None;
+    let mut jobs_override: Option<usize> = None;
+    let mut scale_override: Option<f64> = None;
+    let mut artifacts = true;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => kind = "quick",
+            "--smoke" => kind = "smoke",
+            "--full" => kind = "full",
+            "--seed" => seed = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => jobs_override = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--scale" => scale_override = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--out" => out_dir = Some(next(&mut i)),
+            "--no-artifacts" => artifacts = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let mut cfg = match kind {
+        "smoke" => MatrixConfig::smoke(seed),
+        "full" => MatrixConfig::full(seed),
+        _ => MatrixConfig::quick(seed),
+    };
+    if let Some(j) = jobs_override {
+        cfg.num_jobs = j;
+    }
+    if let Some(s) = scale_override {
+        cfg.task_scale = s;
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(format!("{dir}/cells")) {
+            eprintln!("dsp: cannot create {dir}/cells: {e}");
+            std::process::exit(2)
+        }
+    }
+    eprintln!("dsp matrix: {} grid, {} cells, seed {seed}", kind, cfg.num_cells());
+    let mut failed: Vec<String> = Vec::new();
+    let rows = dsp_core::run_matrix(&cfg, |cell| {
+        if !cell.report.passes() {
+            failed.push(cell.cell_id());
+            eprintln!("dsp matrix: cell {} FAILED verification:\n{}", cell.cell_id(), cell.report);
+        }
+        if artifacts {
+            if let Some(dir) = &out_dir {
+                let snap = codec::Snapshot {
+                    cluster: cell.cluster.clone(),
+                    jobs: cell.jobs.clone(),
+                    schedule: cell.schedule.clone(),
+                    history: cell.history.clone(),
+                    metrics: cell.metrics.clone(),
+                };
+                write_artifact(&format!("{dir}/cells/{}.json", cell.cell_id()), &snap.to_json());
+            }
+        }
+    });
+    let csv = to_csv(&rows);
+    match &out_dir {
+        Some(dir) => {
+            let path = format!("{dir}/matrix.csv");
+            if let Err(e) = std::fs::write(&path, &csv) {
+                eprintln!("dsp: cannot write {path}: {e}");
+                std::process::exit(2)
+            }
+            eprintln!("dsp matrix: wrote {path} ({} rows)", rows.len());
+        }
+        None => print!("{csv}"),
+    }
+    if failed.is_empty() {
+        eprintln!("dsp matrix: all {} cells verified (R1-R6)", rows.len());
+        std::process::exit(0)
+    }
+    eprintln!("dsp matrix: {}/{} cells failed verification", failed.len(), rows.len());
+    std::process::exit(1)
 }
 
 // ------------------------------------------------------------- service verbs
@@ -833,6 +934,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("verify") => verify_main(&argv[1..]),
+        Some("matrix") => matrix_main(&argv[1..]),
         Some("analyze") => analyze_main(&argv[1..]),
         Some("serve") => serve_main(&argv[1..]),
         Some("submit") => submit_main(&argv[1..]),

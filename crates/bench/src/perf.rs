@@ -957,10 +957,21 @@ pub fn compare(
         let ratio = nb.wall_ns as f64 / ob.wall_ns.max(1) as f64;
         let mut note = String::new();
         for (k, nv) in &nb.counters {
-            if let Some((_, ov)) = ob.counters.iter().find(|(ok, _)| ok == k) {
-                if ov != nv {
-                    note.push_str(&format!(" {k}:{ov}->{nv}"));
+            match ob.counters.iter().find(|(ok, _)| ok == k) {
+                Some((_, ov)) => {
+                    if ov != nv {
+                        note.push_str(&format!(" {k}:{ov}->{nv}"));
+                    }
                 }
+                // A counter the old file never measured: say so loudly.
+                // Silently skipping it is how a renamed counter (or a new
+                // effort metric) escapes every future compare.
+                None => note.push_str(&format!(" {k}:(absent)->{nv} [new counter]")),
+            }
+        }
+        for (k, ov) in &ob.counters {
+            if !nb.counters.iter().any(|(nk, _)| nk == k) {
+                note.push_str(&format!(" {k}:{ov}->(absent) [dropped counter]"));
             }
         }
         lines.push(format!(
@@ -1189,6 +1200,31 @@ mod tests {
         assert!(report.regressions[0].starts_with("b:"), "{:?}", report.regressions);
         let clean = compare(&old, &old, 15.0).expect("parses");
         assert!(clean.regressions.is_empty());
+    }
+
+    #[test]
+    fn compare_flags_asymmetric_counter_keys() {
+        let opts = quick_opts(false);
+        let old = vec![BenchResult {
+            name: "a".into(),
+            wall_ns: 1_000_000,
+            iters: 3,
+            counters: vec![("pivots".into(), 10), ("legacy".into(), 4)],
+        }];
+        let new = vec![BenchResult {
+            name: "a".into(),
+            wall_ns: 1_000_000,
+            iters: 3,
+            counters: vec![("pivots".into(), 10), ("arena_bytes".into(), 512)],
+        }];
+        let report =
+            compare(&to_json(&old, &opts).to_string(), &to_json(&new, &opts).to_string(), 15.0)
+                .expect("parses");
+        let row = report.lines.iter().find(|l| l.starts_with("a ")).expect("row for a");
+        assert!(row.contains("arena_bytes:(absent)->512 [new counter]"), "{row}");
+        assert!(row.contains("legacy:4->(absent) [dropped counter]"), "{row}");
+        // Unchanged shared counters still stay silent.
+        assert!(!row.contains("pivots"), "{row}");
     }
 
     #[test]

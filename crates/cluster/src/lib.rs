@@ -13,4 +13,4 @@ pub mod node;
 pub mod profiles;
 
 pub use node::{Node, NodeId};
-pub use profiles::{ec2, palmetto, uniform, ClusterSpec};
+pub use profiles::{blend, ec2, palmetto, uniform, ClusterSpec};

@@ -148,6 +148,27 @@ pub fn ec2() -> ClusterSpec {
     ClusterSpec { name: "ec2".into(), nodes: mk_nodes(30, 4560.0, 4.0, 2) }
 }
 
+/// A heterogeneous blend for the scenario matrix: 25 Palmetto-class nodes
+/// interleaved with 15 EC2-class nodes (alternating while both last, so
+/// neighbouring `NodeId`s differ in speed — the worst case for rate-naive
+/// placement). Roughly half of each paper inventory, total 40 nodes.
+pub fn blend() -> ClusterSpec {
+    let fast = mk_nodes(25, 9200.0, 16.0, 2);
+    let slow = mk_nodes(15, 4560.0, 4.0, 2);
+    let mut nodes = Vec::with_capacity(fast.len() + slow.len());
+    let (mut f, mut s) = (fast.into_iter(), slow.into_iter());
+    loop {
+        match (f.next(), s.next()) {
+            (None, None) => break,
+            (a, b) => nodes.extend(a.into_iter().chain(b)),
+        }
+    }
+    for (i, n) in nodes.iter_mut().enumerate() {
+        n.id = NodeId(i as u32);
+    }
+    ClusterSpec { name: "blend".into(), nodes }
+}
+
 /// A uniform synthetic cluster for tests: `count` nodes, `rate` split
 /// evenly between CPU and memory, `slots` slots each.
 pub fn uniform(count: usize, rate: f64, slots: usize) -> ClusterSpec {
@@ -233,6 +254,23 @@ mod tests {
         assert_eq!(parts.len(), 3);
         assert!(parts.iter().all(|p| p.len() == 1));
         assert_eq!(c.split_offsets(8), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn blend_interleaves_both_inventories() {
+        let b = blend();
+        assert_eq!(b.len(), 40);
+        // Ids are dense and in order.
+        for (i, n) in b.nodes.iter().enumerate() {
+            assert_eq!(n.id, NodeId(i as u32));
+        }
+        // Both speed classes present, and the head alternates.
+        let fast = b.nodes.iter().filter(|n| n.rate().get() > 5000.0).count();
+        assert_eq!(fast, 25);
+        assert!(b.nodes[0].rate().get() != b.nodes[1].rate().get());
+        // Mean rate sits strictly between the two pure profiles.
+        let m = b.mean_rate().get();
+        assert!(m > ec2().mean_rate().get() && m < palmetto().mean_rate().get());
     }
 
     #[test]

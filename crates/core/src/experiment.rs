@@ -23,6 +23,9 @@ pub enum ClusterProfile {
     Palmetto,
     /// 30-instance EC2 deployment.
     Ec2,
+    /// Heterogeneous blend: Palmetto- and EC2-class nodes interleaved
+    /// (the scenario matrix's node-mix axis).
+    Blend,
 }
 
 impl ClusterProfile {
@@ -31,6 +34,7 @@ impl ClusterProfile {
         match self {
             ClusterProfile::Palmetto => dsp_cluster::palmetto(),
             ClusterProfile::Ec2 => dsp_cluster::ec2(),
+            ClusterProfile::Blend => dsp_cluster::blend(),
         }
     }
 
@@ -39,6 +43,7 @@ impl ClusterProfile {
         match self {
             ClusterProfile::Palmetto => "real cluster",
             ClusterProfile::Ec2 => "EC2",
+            ClusterProfile::Blend => "blend",
         }
     }
 }
@@ -76,7 +81,14 @@ impl SchedMethod {
         }
     }
 
-    fn build(self, seed: u64) -> Box<dyn Scheduler> {
+    /// Does the arm *claim* dependency awareness? Decides whether R2
+    /// findings are errors (a broken promise) or warnings (a quantified
+    /// design flaw) when the scenario matrix verifies its schedules.
+    pub fn dependency_aware(self) -> bool {
+        matches!(self, SchedMethod::Dsp | SchedMethod::DspIlp | SchedMethod::TetrisSimDep)
+    }
+
+    pub(crate) fn build(self, seed: u64) -> Box<dyn Scheduler> {
         match self {
             SchedMethod::Dsp => Box::new(DspListScheduler::default()),
             SchedMethod::DspIlp => Box::new(DspIlpScheduler::default()),
@@ -119,7 +131,7 @@ impl PreemptMethod {
         }
     }
 
-    fn build(self, params: &Params) -> Box<dyn PreemptPolicy> {
+    pub(crate) fn build(self, params: &Params) -> Box<dyn PreemptPolicy> {
         match self {
             PreemptMethod::None => Box::new(NoPreempt),
             PreemptMethod::Dsp => Box::new(DspPolicy::new(params.dsp_params(true))),

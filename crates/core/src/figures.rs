@@ -70,7 +70,7 @@ impl FigureScale {
     fn trace(&self, cluster: ClusterProfile) -> TraceParams {
         let scale = match cluster {
             ClusterProfile::Palmetto => self.task_scale_palmetto,
-            ClusterProfile::Ec2 => self.task_scale,
+            _ => self.task_scale,
         };
         TraceParams { task_scale: scale, ..TraceParams::default() }
     }
@@ -96,7 +96,7 @@ pub fn fig5(cluster: ClusterProfile, scale: &FigureScale) -> SweepSeries {
         [SchedMethod::Dsp, SchedMethod::Aalo, SchedMethod::TetrisSimDep, SchedMethod::TetrisWoDep];
     let id = match cluster {
         ClusterProfile::Palmetto => "fig5a",
-        ClusterProfile::Ec2 => "fig5b",
+        _ => "fig5b",
     };
     let mut sweep = SweepSeries::new(
         id,
@@ -139,7 +139,7 @@ pub fn preemption_figures(cluster: ClusterProfile, scale: &FigureScale) -> Vec<S
     ];
     let prefix = match cluster {
         ClusterProfile::Palmetto => "fig6",
-        ClusterProfile::Ec2 => "fig7",
+        _ => "fig7",
     };
     let xs: Vec<f64> = scale.job_counts.iter().map(|&j| j as f64).collect();
     let mk = |suffix: &str, title: &str, ylab: &str| {

@@ -34,6 +34,7 @@ pub mod ablation;
 pub mod config;
 pub mod experiment;
 pub mod figures;
+pub mod matrix;
 pub mod sweep;
 pub mod system;
 
@@ -43,6 +44,7 @@ pub use experiment::{
     run_experiment, ClusterProfile, ExperimentConfig, PreemptMethod, SchedMethod,
 };
 pub use figures::{fig5, fig6, fig7, fig8, FigureScale};
+pub use matrix::{run_matrix, CellOutput, DeadlineTier, MatrixConfig, Scenario, Storm};
 pub use sweep::parallel_map;
 pub use system::DspSystem;
 

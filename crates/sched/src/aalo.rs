@@ -84,7 +84,9 @@ impl Scheduler for AaloScheduler {
                 (q, jobs[j].arrival.as_micros(), j, v)
             },
             |j, v| {
-                served_mi.borrow_mut()[j] += jobs[j].task(v).size.get();
+                // Plan on the a-priori estimate, not the sampled truth —
+                // the coordinator can only ever observe declared sizes.
+                served_mi.borrow_mut()[j] += jobs[j].task(v).est_size.get();
             },
         )
     }

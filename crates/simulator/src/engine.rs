@@ -630,7 +630,7 @@ impl Engine {
         let rt = &self.tasks[g];
         let id = self.index.id(g);
         let rate = self.rate_of(g);
-        let remaining_work = match rt.state {
+        let truth_remaining = match rt.state {
             RtState::Running => {
                 if self.now > rt.work_start {
                     rt.remaining - Mi::done_in(rate, self.now.since(rt.work_start))
@@ -640,8 +640,19 @@ impl Engine {
             }
             _ => rt.remaining,
         };
-        let remaining_time = remaining_work.exec_time(rate);
         let spec = self.job(id.job).task(id.index);
+        // Re-estimation: policies never observe the sampled truth, only the
+        // work a task has visibly consumed. The believed remaining work is
+        // the a-priori estimate minus observed progress, i.e. truth
+        // remaining shifted by (est − size). With exact estimates the shift
+        // is 0.0 and `x + 0.0 == x`, so the idealized path is bit-identical
+        // to the pre-uncertainty engine. A task that overruns its estimate
+        // clamps to zero (Mi::new) and the Eq. 13 MIN_REMAINING floor takes
+        // over: an overrun task is presumed nearly done, which keeps its
+        // 1/t_rem urgency high instead of oscillating.
+        let remaining_work =
+            Mi::new(truth_remaining.get() + (spec.est_size.get() - spec.size.get()));
+        let remaining_time = remaining_work.exec_time(rate);
         TaskSnapshot {
             id,
             remaining_work,
@@ -652,7 +663,7 @@ impl Engine {
             running: rt.state == RtState::Running,
             ready: rt.ready(),
             demand: spec.demand,
-            size: spec.size,
+            size: spec.est_size,
             preemptions: rt.preempt_count,
         }
     }

@@ -8,13 +8,22 @@ use dsp_dag::{Job, JobId, TaskId};
 use dsp_units::{Dur, Mi, ResourceVec, Time};
 
 /// Point-in-time view of one task, as policies see it.
+///
+/// Everything here is *scheduler-believed* state: the engine executes the
+/// sampled truth (`TaskSpec::size`) but snapshots expose only the a-priori
+/// estimate corrected by observed progress — the re-estimation that feeds
+/// Eq. 12/13 priority recomputation every epoch. With exact estimates the
+/// believed values equal the truth bit-for-bit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskSnapshot {
     /// The task.
     pub id: TaskId,
-    /// Work still owed (after checkpoint accounting).
+    /// Work still *believed* owed: a-priori estimate minus observed
+    /// progress (after checkpoint accounting), clamped at zero when a task
+    /// overruns its estimate.
     pub remaining_work: Mi,
-    /// `t^rem`: remaining execution time at the rate of the task's node.
+    /// `t^rem`: believed remaining execution time at the rate of the
+    /// task's node.
     pub remaining_time: Dur,
     /// `t^w`: accumulated waiting time (all queue stints so far, including
     /// the current one for waiting tasks).
@@ -33,7 +42,8 @@ pub struct TaskSnapshot {
     pub ready: bool,
     /// Peak resource demand (Amoeba ranks by this).
     pub demand: ResourceVec,
-    /// Full task size.
+    /// A-priori estimated task size — policies never observe the sampled
+    /// truth.
     pub size: Mi,
     /// `N^p`: preemptions suffered so far.
     pub preemptions: u32,

@@ -26,7 +26,7 @@ impl LogNormalParams {
 }
 
 /// One standard-normal sample via Box–Muller.
-fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
     // Draw u1 in (0, 1] to keep ln() finite.
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();

@@ -2,7 +2,8 @@
 //! trace.
 
 use crate::dag_builder::{build_dag_from_windows, DagCaps};
-use crate::distributions::{log_normal, poisson_arrivals, LogNormalParams};
+use crate::distributions::{log_normal, LogNormalParams};
+use crate::models::{ArrivalModel, ExecModel};
 use dsp_dag::{critical_path_len, Dag, Job, JobClass, JobId, TaskSpec};
 use dsp_units::{Dur, Mi, Mips, ResourceVec, Time};
 use rand::Rng;
@@ -40,6 +41,14 @@ pub struct TraceParams {
     /// reflects realistic trace-based predictors and is what makes the
     /// online preemption phase earn its keep.
     pub estimate_noise_sigma: f64,
+    /// Execution-time model: how the sampled *truth* (`TaskSpec::size`)
+    /// relates to the declared WCET. The WCET stays the basis of the
+    /// scheduler-visible estimate. `Wcet` (default) draws no RNG values,
+    /// keeping default workloads byte-identical to the pre-matrix
+    /// generator.
+    pub exec_model: ExecModel,
+    /// Job arrival pattern (default: homogeneous Poisson, as the paper).
+    pub arrival: ArrivalModel,
     /// Structural caps for the window-rule DAG construction.
     pub caps: DagCaps,
 }
@@ -58,6 +67,8 @@ impl Default for TraceParams {
             deadline_slack: 8.0,
             stages: 5,
             estimate_noise_sigma: 0.4,
+            exec_model: ExecModel::Wcet,
+            arrival: ArrivalModel::Poisson,
             caps: DagCaps::default(),
         }
     }
@@ -108,12 +119,20 @@ fn synth_windows<R: Rng>(rng: &mut R, m: usize, p: &TraceParams) -> (Vec<(Time, 
     (windows, durations)
 }
 
-/// Generate `num_jobs` jobs with Poisson arrivals, trace-like marginals and
-/// window-rule DAGs. Jobs are indexed `0..num_jobs` (their `JobId` equals
-/// their position), classes cycle small/medium/large.
+/// Generate `num_jobs` jobs with the configured arrival pattern,
+/// trace-like marginals and window-rule DAGs. Jobs are indexed
+/// `0..num_jobs` (their `JobId` equals their position), classes cycle
+/// small/medium/large.
+///
+/// Each task's declared WCET comes from the sampled duration; the
+/// *executed* size is `exec_model.sample(rng, wcet)` (truth) while the
+/// scheduler-visible estimate stays `wcet · noise`. Deadlines are computed
+/// from the declared WCETs — the negotiated contract — never the sampled
+/// truth, so a job's deadline carries no information about its realized
+/// execution times.
 pub fn generate_workload<R: Rng>(rng: &mut R, num_jobs: usize, p: &TraceParams) -> Vec<Job> {
     let rate = rng.gen_range(p.arrival_rate_per_min.0..=p.arrival_rate_per_min.1);
-    let arrivals = poisson_arrivals(rng, num_jobs, Time::ZERO, rate);
+    let arrivals = p.arrival.arrivals(rng, num_jobs, Time::ZERO, rate);
     let reference = Mips::new(p.reference_mips);
     let jobs: Vec<Job> = (0..num_jobs)
         .map(|i| {
@@ -121,9 +140,11 @@ pub fn generate_workload<R: Rng>(rng: &mut R, num_jobs: usize, p: &TraceParams) 
             let m = p.tasks_for(class);
             let (windows, durations) = synth_windows(rng, m, p);
             let dag: Dag = build_dag_from_windows(&windows, p.caps);
+            let mut wcets: Vec<Mi> = Vec::with_capacity(m);
             let tasks: Vec<TaskSpec> = (0..m)
                 .map(|t| {
-                    let size = Mi::new(durations[t].as_secs_f64() * p.reference_mips);
+                    let wcet = Mi::new(durations[t].as_secs_f64() * p.reference_mips);
+                    wcets.push(wcet);
                     let demand = ResourceVec::new(
                         clip01(log_normal(rng, p.cpu)),
                         clip01(log_normal(rng, p.mem)),
@@ -139,10 +160,14 @@ pub fn generate_workload<R: Rng>(rng: &mut R, num_jobs: usize, p: &TraceParams) 
                     } else {
                         1.0
                     };
-                    TaskSpec::new(size, demand).with_estimate(size * noise)
+                    // Truth last, and `Wcet` draws nothing: the RNG stream
+                    // stays byte-identical to the pre-matrix generator for
+                    // default parameters.
+                    let truth = p.exec_model.sample(rng, wcet);
+                    TaskSpec::new(truth, demand).with_estimate(wcet * noise)
                 })
                 .collect();
-            let exec: Vec<Dur> = tasks.iter().map(|t| t.exec_time(reference)).collect();
+            let exec: Vec<Dur> = wcets.iter().map(|w| w.exec_time(reference)).collect();
             let cp = critical_path_len(&dag, &exec);
             let arrival = arrivals[i];
             let deadline = arrival + cp.mul_f64(p.deadline_slack);

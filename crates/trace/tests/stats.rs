@@ -1,0 +1,158 @@
+//! Statistical sanity for the scenario-axis models (DESIGN.md §13): draws
+//! stay inside declared supports, arrival trains match their rate
+//! envelopes, and identical seeds reproduce identical traces.
+//!
+//! Deterministic seeded sweeps, not `proptest!` cases: every assertion
+//! below is exact at its fixed seed, with tolerances wide enough that the
+//! checks hold for *any* seed (spot-verified over a seed sweep).
+
+use dsp_trace::{generate_workload, ArrivalModel, ExecModel, TraceParams};
+use dsp_units::{Mi, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MODELS: [ExecModel; 4] = [
+    ExecModel::Wcet,
+    ExecModel::FullRandom,
+    ExecModel::HalfRandom,
+    ExecModel::Normal { sigma_frac: 0.2 },
+];
+
+#[test]
+fn draws_stay_in_declared_support() {
+    for (si, model) in MODELS.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(100 + si as u64);
+        for wcet_mi in [1.0, 50.0, 5_000.0, 2.0e6] {
+            let wcet = Mi::new(wcet_mi);
+            let (lo, hi) = model.support(wcet);
+            for _ in 0..5_000 {
+                let draw = model.sample(&mut rng, wcet).get();
+                assert!(
+                    (lo..=hi).contains(&draw),
+                    "{}: draw {draw} outside [{lo}, {hi}] for WCET {wcet_mi}",
+                    model.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_models_cover_their_range_with_the_right_mean() {
+    let wcet = Mi::new(10_000.0);
+    for (model, expect_mean) in [
+        (ExecModel::FullRandom, (1.0 + 10_000.0) / 2.0),
+        (ExecModel::HalfRandom, (5_000.0 + 10_000.0) / 2.0),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| model.sample(&mut rng, wcet).get()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let (lo, hi) = model.support(wcet);
+        let width = hi - lo;
+        assert!(
+            (mean - expect_mean).abs() < 0.02 * width,
+            "{}: mean {mean} far from {expect_mean}",
+            model.label()
+        );
+        // The tails are actually reached: min/max within 1% of the bounds.
+        let min = draws.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = draws.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < lo + 0.01 * width, "{}: min {min} never near {lo}", model.label());
+        assert!(max > hi - 0.01 * width, "{}: max {max} never near {hi}", model.label());
+    }
+}
+
+#[test]
+fn normal_model_centers_on_the_wcet() {
+    let wcet = Mi::new(10_000.0);
+    let model = ExecModel::Normal { sigma_frac: 0.2 };
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 20_000;
+    let draws: Vec<f64> = (0..n).map(|_| model.sample(&mut rng, wcet).get()).collect();
+    let mean = draws.iter().sum::<f64>() / n as f64;
+    assert!((mean - 10_000.0).abs() < 0.01 * 10_000.0, "mean {mean} drifted off the WCET");
+    let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    // σ = 0.2·C = 2000, mildly shrunk by the [C/20, 2C] clamp.
+    assert!((1_700.0..=2_100.0).contains(&sd), "sd {sd} inconsistent with sigma_frac 0.2");
+}
+
+#[test]
+fn poisson_train_matches_its_rate() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let base = 3.0; // jobs per minute
+    let n = 4_000;
+    let arrivals = ArrivalModel::Poisson.arrivals(&mut rng, n, Time::ZERO, base);
+    assert_eq!(arrivals.len(), n);
+    assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    let span_min = (arrivals[n - 1] - arrivals[0]).as_secs_f64() / 60.0;
+    let rate = (n - 1) as f64 / span_min;
+    assert!(
+        (rate - base).abs() < 0.1 * base,
+        "realized rate {rate}/min far from the base {base}/min"
+    );
+}
+
+#[test]
+fn bursty_train_concentrates_arrivals_in_bursts() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let model = ArrivalModel::Bursty { burst_factor: 4.0, burst_secs: 60.0, gap_secs: 180.0 };
+    let n = 3_000;
+    let arrivals = model.arrivals(&mut rng, n, Time::ZERO, 3.0);
+    let cycle = 60.0 + 180.0;
+    let in_burst =
+        arrivals.iter().filter(|t| (t.as_micros() as f64 / 1e6).rem_euclid(cycle) < 60.0).count()
+            as f64
+            / n as f64;
+    // Bursts hold rate 4r for 1/4 of the cycle vs r/4 in the gaps:
+    // expected in-burst share = (4·60)/(4·60 + 0.25·180) ≈ 0.84. A burst
+    // share near the 0.25 area fraction would mean thinning is broken.
+    assert!(in_burst > 0.7, "only {in_burst:.2} of arrivals landed inside bursts");
+}
+
+#[test]
+fn diurnal_train_follows_the_sinusoidal_envelope() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let period = 600.0;
+    let model = ArrivalModel::Diurnal { amplitude: 0.9, period_secs: period };
+    let n = 3_000;
+    let arrivals = model.arrivals(&mut rng, n, Time::ZERO, 3.0);
+    // First half of each period has rate ≥ base (sin ≥ 0), second half ≤.
+    let rising = arrivals
+        .iter()
+        .filter(|t| (t.as_micros() as f64 / 1e6).rem_euclid(period) < period / 2.0)
+        .count() as f64
+        / n as f64;
+    assert!(rising > 0.6, "only {rising:.2} of arrivals in the high-rate half-period");
+    // The instantaneous rate honors its own declared envelope.
+    for t in [0.0, 100.0, 200.0, 300.0, 450.0, 599.0] {
+        let r = model.rate_at(3.0, t);
+        assert!((3.0 * (1.0 - 0.9)..=3.0 * (1.0 + 0.9)).contains(&r));
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_traces() {
+    for (si, model) in MODELS.iter().enumerate() {
+        for arrival in [
+            ArrivalModel::Poisson,
+            ArrivalModel::Diurnal { amplitude: 0.8, period_secs: 1800.0 },
+            ArrivalModel::Bursty { burst_factor: 4.0, burst_secs: 60.0, gap_secs: 180.0 },
+        ] {
+            let p = TraceParams {
+                task_scale: 0.02,
+                estimate_noise_sigma: 0.0,
+                exec_model: *model,
+                arrival,
+                ..TraceParams::default()
+            };
+            let seed = 500 + si as u64;
+            let a = generate_workload(&mut StdRng::seed_from_u64(seed), 5, &p);
+            let b = generate_workload(&mut StdRng::seed_from_u64(seed), 5, &p);
+            assert_eq!(a, b, "{}/{} trace not reproducible", model.label(), arrival.label());
+            let c = generate_workload(&mut StdRng::seed_from_u64(seed + 1), 5, &p);
+            assert_ne!(a, c, "different seeds collapsed onto one workload");
+        }
+    }
+}

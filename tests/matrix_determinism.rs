@@ -1,0 +1,45 @@
+//! Determinism of the scenario-matrix harness (DESIGN.md §13): the grid
+//! consults no wall clock and no ambient entropy, so one seed must
+//! reproduce the entire CSV byte for byte — and the committed golden file
+//! must match what the current tree produces.
+
+use dsp_core::matrix::to_csv;
+use dsp_core::{run_matrix, MatrixConfig};
+
+/// Two full `--quick` grids at one seed emit byte-identical CSV documents,
+/// with every cell passing its R1–R6 audit both times.
+#[test]
+fn quick_grid_is_byte_identical_per_seed() {
+    let cfg = MatrixConfig::quick(42);
+    let mut failures = Vec::new();
+    let a = run_matrix(&cfg, |cell| {
+        if !cell.report.passes() {
+            failures.push(cell.cell_id());
+        }
+    });
+    let b = run_matrix(&cfg, |_| {});
+    assert!(failures.is_empty(), "cells failed verification: {failures:?}");
+    assert_eq!(a.len(), cfg.num_cells());
+    assert_eq!(to_csv(&a), to_csv(&b), "repeated --quick runs must be byte-identical");
+    // A different seed must not reproduce the same document.
+    let c = run_matrix(&MatrixConfig::quick(43), |_| {});
+    assert_ne!(to_csv(&a), to_csv(&c));
+}
+
+/// The committed CI golden (tests/golden/matrix_smoke.csv) matches what
+/// the current tree computes for the same grid and seed. When a PR
+/// deliberately changes workload generation or engine accounting, it must
+/// regenerate the golden in the same commit — this test is the local
+/// mirror of the CI `matrix-smoke` diff.
+#[test]
+fn smoke_grid_matches_committed_golden() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/matrix_smoke.csv");
+    let golden = std::fs::read_to_string(golden_path).expect("committed golden CSV");
+    let rows = run_matrix(&MatrixConfig::smoke(2018), |_| {});
+    assert_eq!(
+        to_csv(&rows),
+        golden,
+        "smoke grid diverged from tests/golden/matrix_smoke.csv; \
+         if intended, regenerate it: dsp matrix --smoke --seed 2018 --out <dir>"
+    );
+}

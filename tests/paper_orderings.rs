@@ -16,7 +16,7 @@ const SEED: u64 = 2018;
 fn scale_for(cluster: ClusterProfile) -> f64 {
     match cluster {
         ClusterProfile::Palmetto => 0.2,
-        ClusterProfile::Ec2 => 0.06,
+        _ => 0.06,
     }
 }
 
